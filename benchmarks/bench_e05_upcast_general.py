@@ -1,0 +1,39 @@
+"""E5 — Theorem 19 / Corollary 20: Upcast runs in O(log n / p) rounds
+for ``p = Theta(log n / n^(1-eps))``; rounds * p / log n stays bounded.
+"""
+
+import math
+
+from repro.core import run_upcast
+from repro.graphs import gnp_random_graph
+
+from benchmarks.conftest import show
+
+N = 256
+EPS = [1 / 3, 1 / 2, 2 / 3]
+C = 1.8
+
+
+def _run(eps: float, seed: int):
+    p = min(1.0, C * math.log(N) / N ** (1 - eps))
+    g = gnp_random_graph(N, p, seed=seed)
+    return p, run_upcast(g, seed=seed + 11)
+
+
+def test_e05_upcast_inverse_p(benchmark):
+    rows = []
+    normalised = []
+    for eps in EPS:
+        p, res = _run(eps, seed=4000 + int(eps * 100))
+        assert res.success, f"Upcast failed at eps={eps:.2f}"
+        norm = res.rounds * p / math.log(N)
+        rows.append((f"{eps:.2f}", f"{p:.4f}", res.rounds, norm))
+        normalised.append(norm)
+    show("E5: Upcast rounds at p = c log n / n^(1-eps)  (Thm 19: O(log n / p))",
+         ["eps", "p", "rounds", "rounds*p/log n"], rows)
+    # The paper's bound says the normalised quantity is O(1): it must not
+    # blow up across a 10x density range, and denser -> fewer rounds.
+    assert max(normalised) / min(normalised) < 8.0
+    assert rows[0][2] >= rows[-1][2]  # sparser regime costs more rounds
+    benchmark.extra_info["rows"] = rows
+    benchmark.pedantic(_run, args=(0.5, 2), rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+"""E6 — whp guarantees: success probability vs the density constant c
+and vs n.
+
+The paper's theorems hold for large constants (c >= 86 in Theorem 2!);
+this experiment maps where success actually turns on, and that success
+rates improve with n at fixed super-threshold c — the observable
+content of "with high probability".
+"""
+
+import math
+
+from repro.engines.fast import run_dra_fast
+from repro.graphs import gnp_random_graph
+
+from benchmarks.conftest import show
+
+TRIALS = 20
+
+
+def _rate(n: int, c: float, trials: int = TRIALS) -> float:
+    wins = 0
+    for s in range(trials):
+        p = min(1.0, c * math.log(n) / n)
+        g = gnp_random_graph(n, p, seed=5000 + 97 * s + n)
+        wins += run_dra_fast(g, seed=6000 + s).success
+    return wins / trials
+
+
+def test_e06_success_probability(benchmark):
+    rows_c = [(c, _rate(256, c)) for c in (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)]
+    show("E6a: DRA success rate vs density constant c (n=256, 20 trials)",
+         ["c", "success_rate"], rows_c)
+    rates = dict(rows_c)
+    assert rates[1.0] < 0.9          # at the bare threshold, failures happen
+    assert rates[8.0] >= 0.95        # comfortably dense: near-certain
+    assert rates[8.0] >= rates[2.0]  # monotone trend
+
+    rows_n = [(n, _rate(n, 6.0, trials=12)) for n in (64, 128, 256, 512)]
+    show("E6b: DRA success rate vs n (c=6)", ["n", "success_rate"], rows_n)
+    assert rows_n[-1][1] >= 0.9      # whp: large n is reliable
+    benchmark.extra_info["vs_c"] = rows_c
+    benchmark.extra_info["vs_n"] = rows_n
+    benchmark.pedantic(_rate, args=(128, 6.0, 5), rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""E7 — "the denser the random graph, the smaller is the running time"
+(abstract & Section IV): DHC2 rounds ~ O~(1/p) at fixed n.
+
+Sweeps delta at fixed n = 1024 (so p spans an order of magnitude) and
+checks that measured rounds decrease as the graph gets denser.
+"""
+
+from repro.engines.fast_dhc2 import run_dhc2_fast
+from repro.graphs import gnp_random_graph, paper_probability
+
+from benchmarks.conftest import show
+
+N = 1024
+DELTAS = [0.60, 0.70, 0.80, 0.90]  # all with unclamped p at n=1024
+C = 8.0
+MAX_TRIES = 4
+
+
+def _run(delta: float):
+    p = paper_probability(N, delta, C)
+    for attempt in range(MAX_TRIES):
+        g = gnp_random_graph(N, p, seed=7000 + attempt + int(delta * 100))
+        res = run_dhc2_fast(g, delta=delta, seed=7100 + attempt)
+        if res.success:
+            return p, res
+    return p, res
+
+
+def test_e07_denser_is_faster(benchmark):
+    rows = []
+    for delta in DELTAS:
+        p, res = _run(delta)
+        assert res.success, f"DHC2 failed at delta={delta}"
+        rows.append((f"{delta:.2f}", f"{p:.4f}", res.detail["k"], res.rounds))
+    show(f"E7: DHC2 rounds vs density at n={N}  (denser = faster)",
+         ["delta", "p", "K", "rounds"], rows)
+    rounds = [r[3] for r in rows]
+    # p decreases along DELTAS, so rounds must (weakly) increase.
+    assert rounds[0] < rounds[-1]
+    benchmark.extra_info["rows"] = rows
+    benchmark.pedantic(_run, args=(0.5,), rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+"""E8 — the fully-distributed claim (Section II vs Section III).
+
+Per-node peak memory (words) under the audit: the fully-distributed
+algorithms (DRA, DHC2) keep every node near the degree scale and
+*balanced*; the centralized Upcast and trivial algorithms have one node
+(the BFS root) holding Omega(n)-to-Omega(m) words — exactly the
+contrast the paper draws.
+"""
+
+import math
+
+from repro.core import run_dhc2, run_dra, run_trivial, run_upcast
+from repro.graphs import gnp_random_graph
+
+from benchmarks.conftest import show
+
+N = 128
+
+
+def _graph(seed=1):
+    p = min(1.0, 2.2 * math.log(N) / math.sqrt(N))
+    return gnp_random_graph(N, p, seed=seed)
+
+
+def _profile(res):
+    words = sorted(res.detail["state_words"])
+    mid = words[len(words) // 2]
+    return words[-1], mid, words[-1] / max(1, mid)
+
+
+def test_e08_memory_balance(benchmark):
+    g = _graph()
+    runs = {
+        "dra": run_dra(g, seed=2, audit_memory=True),
+        "dhc2": run_dhc2(g, k=4, seed=2, audit_memory=True),
+        "upcast": run_upcast(g, seed=2, audit_memory=True),
+        "trivial": run_trivial(g, seed=2, audit_memory=True),
+    }
+    rows = []
+    stats = {}
+    for name, res in runs.items():
+        assert res.success, f"{name} failed"
+        mx, med, ratio = _profile(res)
+        rows.append((name, mx, med, f"{ratio:.1f}x"))
+        stats[name] = (mx, med, ratio)
+    show(f"E8: peak per-node memory (words), n={N}, m={g.m}",
+         ["algorithm", "max_node", "median_node", "max/median"], rows)
+    # The centralized algorithms concentrate state at the root.
+    assert stats["upcast"][2] > 4 * stats["dhc2"][2]
+    assert stats["trivial"][0] > stats["dhc2"][0]
+    # The trivial root holds the whole topology: Omega(m) words.
+    assert stats["trivial"][0] > g.m
+    benchmark.extra_info["rows"] = rows
+    benchmark.pedantic(lambda: run_dra(_graph(), seed=3, audit_memory=True),
+                       rounds=1, iterations=1)

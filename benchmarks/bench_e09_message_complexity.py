@@ -1,0 +1,45 @@
+"""E9 — CONGEST efficiency: rounds, messages, and bits across all four
+algorithms on one graph, including the trivial O(m) baseline the paper
+uses as the yardstick (Section I-A).
+"""
+
+import math
+
+from repro.congest.message import word_bits
+from repro.core import run_dhc1, run_dhc2, run_dra, run_trivial, run_upcast
+from repro.graphs import gnp_random_graph
+
+from benchmarks.conftest import show
+
+N = 120
+
+
+def _graph():
+    p = min(1.0, 2.2 * math.log(N) / math.sqrt(N))
+    return gnp_random_graph(N, p, seed=17)
+
+
+def test_e09_message_complexity(benchmark):
+    g = _graph()
+    runs = {
+        "dra": run_dra(g, seed=23),
+        "dhc1": run_dhc1(g, k=4, seed=23),
+        "dhc2": run_dhc2(g, k=4, seed=23),
+        "upcast": run_upcast(g, seed=23),
+        "trivial": run_trivial(g, seed=23),
+    }
+    rows = []
+    for name, res in runs.items():
+        assert res.success, f"{name} failed: {res.detail}"
+        avg_bits = res.bits / max(1, res.messages)
+        rows.append((name, res.rounds, res.messages, res.bits, f"{avg_bits:.1f}"))
+    show(f"E9: communication totals, n={N}, m={g.m}",
+         ["algorithm", "rounds", "messages", "bits", "bits/msg"], rows)
+    # Every algorithm's messages are O(log n) bits.
+    cap = 8 + 12 * word_bits(N)
+    assert all(float(r[4]) <= cap for r in rows)
+    # The trivial baseline pays the most rounds (its O(m) collection).
+    by_name = {r[0]: r for r in rows}
+    assert by_name["trivial"][1] >= by_name["upcast"][1]
+    benchmark.extra_info["rows"] = rows
+    benchmark.pedantic(lambda: run_dra(_graph(), seed=5), rounds=1, iterations=1)

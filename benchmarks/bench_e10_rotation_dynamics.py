@@ -1,0 +1,41 @@
+"""E10 — Fig. 2's mechanism: how the rotation walk actually spends its
+steps (extensions vs rotations vs closure) as n grows.
+
+Extensions are exactly n-1; the interesting series is the rotation
+count, which carries the coupon-collector tail that gives Theorem 2 its
+``n ln n``: rotations / n should grow like ln n.
+"""
+
+import math
+
+from repro.engines.fast import run_dra_fast
+from repro.graphs import gnp_random_graph
+
+from benchmarks.conftest import show
+
+SIZES = [128, 256, 512, 1024]
+C = 8.0
+
+
+def _run(n, seed):
+    p = min(1.0, C * math.log(n) / n)
+    g = gnp_random_graph(n, p, seed=seed)
+    return run_dra_fast(g, seed=seed + 9)
+
+
+def test_e10_rotation_dynamics(benchmark):
+    rows = []
+    for n in SIZES:
+        res = _run(n, seed=8000 + n)
+        assert res.success
+        d = res.detail
+        rows.append((n, d["extensions"], d["rotations"], res.steps,
+                     d["rotations"] / n))
+        assert d["extensions"] == n - 1
+    show("E10: walk composition (Fig. 2 mechanism)",
+         ["n", "extensions", "rotations", "steps", "rotations/n"], rows)
+    # The rotation tail grows with n (coupon-collector) but stays O(ln n).
+    ratios = [r[4] for r in rows]
+    assert ratios[-1] <= 3 * math.log(SIZES[-1])
+    benchmark.extra_info["rows"] = rows
+    benchmark.pedantic(_run, args=(256, 1), rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""E11 — the diameter facts the paper's round analysis relies on:
+
+* Chung–Lu [5]: D = Theta(ln n / ln ln n) at ``p = c ln n / n``;
+* Bollobás [2] ("Fact 2"): D = 2 whp at ``p = Theta(log n / sqrt n)``;
+* Klee–Larman [17] ("Fact 3"): D = ceil(1/eps) at
+  ``p = c log n / n^(1-eps)``.
+"""
+
+import math
+
+from repro.analysis import klee_larman_diameter
+from repro.graphs import diameter, gnp_random_graph
+
+from benchmarks.conftest import show
+
+
+def test_e11_diameter_facts(benchmark):
+    # Chung-Lu scale at the connectivity threshold.
+    rows = []
+    for n in (256, 512, 1024, 2048):
+        g = gnp_random_graph(n, 3 * math.log(n) / n, seed=n)
+        d = diameter(g)
+        scale = math.log(n) / math.log(math.log(n))
+        rows.append((n, d, scale, d / scale))
+    show("E11a: diameter at p = 3 ln n / n  (Chung-Lu: Theta(ln n/ln ln n))",
+         ["n", "diameter", "ln n/ln ln n", "ratio"], rows)
+    ratios = [r[3] for r in rows]
+    assert max(ratios) < 4.0 and min(ratios) > 0.3
+
+    # Fact 2: diameter 2 in the sqrt regime.
+    rows2 = []
+    for n in (128, 256, 512):
+        g = gnp_random_graph(n, 1.5 * math.log(n) / math.sqrt(n), seed=n + 1)
+        rows2.append((n, diameter(g)))
+    show("E11b: diameter at p = 1.5 log n / sqrt n  (Fact 2: D = 2)",
+         ["n", "diameter"], rows2)
+    assert all(r[1] == 2 for r in rows2)
+
+    # Fact 3: D = ceil(1/eps).
+    rows3 = []
+    n = 1024
+    for eps in (1 / 2, 1 / 3):
+        p = min(1.0, 2.0 * math.log(n) / n ** (1 - eps))
+        g = gnp_random_graph(n, p, seed=int(10 * eps))
+        rows3.append((f"{eps:.2f}", klee_larman_diameter(eps), diameter(g)))
+    show("E11c: diameter at p = c log n / n^(1-eps)  (Fact 3: ceil(1/eps))",
+         ["eps", "predicted", "measured"], rows3)
+    for _eps, pred, meas in rows3:
+        assert abs(meas - pred) <= 1
+    benchmark.extra_info["chung_lu"] = rows
+    benchmark.pedantic(
+        lambda: diameter(gnp_random_graph(256, 3 * math.log(256) / 256, seed=0)),
+        rounds=1, iterations=1)

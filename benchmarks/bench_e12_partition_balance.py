@@ -1,0 +1,38 @@
+"""E12 — Lemmas 4 and 7: random-colour partition sizes concentrate in
+``[1/2, 3/2] * n/K``.
+
+This is the event "A" the whole Phase 1 analysis conditions on; we
+measure how often it holds at practical sizes.
+"""
+
+import numpy as np
+
+from repro.analysis import partition_size_bounds
+
+from benchmarks.conftest import show
+
+
+def _event_a_rate(n: int, k: int, trials: int = 50) -> float:
+    lo, hi = partition_size_bounds(n, k)
+    ok = 0
+    for s in range(trials):
+        rng = np.random.default_rng(9000 + s)
+        sizes = np.bincount(rng.integers(k, size=n), minlength=k)
+        ok += bool(np.all((sizes >= lo) & (sizes <= hi)))
+    return ok / trials
+
+
+def test_e12_partition_concentration(benchmark):
+    rows = []
+    for n, k in [(256, 16), (1024, 32), (4096, 64), (16384, 128)]:
+        rate = _event_a_rate(n, k)
+        lo, hi = partition_size_bounds(n, k)
+        rows.append((n, k, n // k, f"[{lo:.0f},{hi:.0f}]", rate))
+    show("E12: Pr[all partitions within [1/2,3/2] * n/K]  (Lemma 4/7 event A)",
+         ["n", "K", "E[size]", "window", "rate"], rows)
+    rates = [r[4] for r in rows]
+    # Concentration strengthens with expected partition size.
+    assert rates[-1] >= rates[0]
+    assert rates[-1] >= 0.9
+    benchmark.extra_info["rows"] = rows
+    benchmark.pedantic(_event_a_rate, args=(1024, 32, 10), rounds=1, iterations=1)

@@ -1,0 +1,88 @@
+"""E14 — Section IV's extension conjecture: G(n,M) and random regular.
+
+"We also believe that the ideas of this paper can be extended to obtain
+similarly fast and efficient fully-distributed algorithms for other
+random graph models such as the G(n,M) model and random regular
+graphs."  The algorithms only see adjacency, so the conjecture is
+directly testable: run the unchanged DHC2 on G(n,M) and d-regular
+graphs matched to the G(n,p) density and require (a) comparable success
+and (b) round counts within a small factor of the G(n,p) reference.
+"""
+
+from repro.engines.fast_dhc2 import run_dhc2_fast
+from repro.graphs import (
+    gnm_random_graph,
+    gnp_random_graph,
+    paper_probability,
+    random_regular_graph,
+)
+
+from benchmarks.conftest import show
+
+N = 400
+DELTA = 0.75
+C = 4.0
+TRIALS = 4
+# The walks are Monte Carlo and c = 4 is far below the proof's c >= 86;
+# single runs fail with constant probability at this scale (see E6).
+# As in E3, each trial retries with fresh coins — what E14 compares is
+# whether the *models* behave alike, not the raw one-shot rate.
+ATTEMPTS = 6
+
+
+def _matched_graphs(seed: int):
+    p = paper_probability(N, DELTA, C)
+    m = round(p * N * (N - 1) / 2)
+    d = round(p * (N - 1))
+    if (N * d) % 2:
+        d += 1
+    return {
+        "gnp": gnp_random_graph(N, p, seed=seed),
+        "gnm": gnm_random_graph(N, m, seed=seed),
+        "regular": random_regular_graph(N, d, seed=seed),
+    }
+
+
+def _run_with_retries(graph, seed: int):
+    for attempt in range(ATTEMPTS):
+        res = run_dhc2_fast(graph, delta=DELTA, seed=1000 * attempt + seed)
+        if res.success:
+            return res
+    return res
+
+
+def _run_all():
+    wins = {"gnp": 0, "gnm": 0, "regular": 0}
+    rounds = {"gnp": [], "gnm": [], "regular": []}
+    for seed in range(TRIALS):
+        for name, graph in _matched_graphs(seed).items():
+            res = _run_with_retries(graph, seed)
+            if res.success:
+                wins[name] += 1
+                rounds[name].append(res.rounds)
+    return wins, rounds
+
+
+def test_e14_other_models(benchmark):
+    wins, rounds = _run_all()
+    rows = []
+    for name in ("gnp", "gnm", "regular"):
+        mean = (sum(rounds[name]) / len(rounds[name])) if rounds[name] else -1.0
+        rows.append((name, wins[name], TRIALS, float(mean)))
+    show(f"E14: DHC2 across matched random-graph models (n={N}, "
+         f"delta={DELTA})", ["model", "successes", "trials", "mean rounds"],
+         rows)
+
+    assert wins["gnp"] == TRIALS
+    # The conjecture: the other models keep working...
+    assert wins["gnm"] == TRIALS
+    assert wins["regular"] == TRIALS
+    # ...at comparable cost (within 2x of the G(n,p) reference).
+    ref = sum(rounds["gnp"]) / len(rounds["gnp"])
+    for name in ("gnm", "regular"):
+        mean = sum(rounds[name]) / len(rounds[name])
+        assert 0.5 * ref < mean < 2.0 * ref, (
+            f"{name} rounds diverged from the G(n,p) reference")
+
+    benchmark.extra_info["wins"] = wins
+    benchmark.pedantic(_matched_graphs, args=(0,), rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from DESIGN.md's index: it
+prints the paper-style series (visible with ``pytest benchmarks/
+--benchmark-only -s``), attaches the series to the pytest-benchmark
+record via ``extra_info``, and asserts the *shape* the paper predicts
+(fitted exponents, orderings, crossovers) — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import fit_power_law
+
+
+def show(title: str, header: list[str], rows: list[tuple]) -> None:
+    """Print an experiment table."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(h), 12) for h in header]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        cells = [
+            f"{v:.4g}" if isinstance(v, float) else str(v) for v in row
+        ]
+        print("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+
+
+def fitted_exponent(xs: list[float], ys: list[float]) -> float:
+    """Least-squares power-law exponent of a measured series."""
+    _a, b = fit_power_law(xs, ys)
+    return b
+
+
+def polylog_corrected(ys: list[float], ns: list[float]) -> list[float]:
+    """Divide out the paper's ``ln^2 n / ln ln n`` polylog factor so the
+    fitted exponent isolates the ``n**delta`` part of the bound."""
+    out = []
+    for y, n in zip(ys, ns):
+        corr = math.log(n) ** 2 / max(1.0, math.log(math.log(n)))
+        out.append(y / corr)
+    return out

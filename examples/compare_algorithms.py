@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Compare all of the paper's algorithms on one graph.
+
+Runs DRA, DHC1, DHC2, Upcast, and the trivial O(m) baseline on the same
+G(n, p) instance and prints the comparison the paper argues
+qualitatively: the fully-distributed algorithms balance memory across
+nodes, the centralized ones concentrate it at the root, and the trivial
+baseline pays the most rounds.
+
+Run:  python examples/compare_algorithms.py
+"""
+
+import math
+
+from repro import gnp_random_graph
+from repro.core import find_hamiltonian_cycle
+
+
+def main() -> None:
+    n = 120
+    p = min(1.0, 2.2 * math.log(n) / math.sqrt(n))
+    graph = gnp_random_graph(n, p, seed=17)
+    print(f"input: G(n={n}, p={p:.3f}), m={graph.m}\n")
+
+    configs = [
+        ("dra", {}),
+        ("dhc1", {"k": 4}),
+        ("dhc2", {"k": 4}),
+        ("upcast", {}),
+        ("trivial", {}),
+    ]
+    header = f"{'algorithm':<10} {'ok':<4} {'rounds':>8} {'messages':>10} " \
+             f"{'max node mem':>13} {'median mem':>11}"
+    print(header)
+    print("-" * len(header))
+    for name, kwargs in configs:
+        res = find_hamiltonian_cycle(graph, algorithm=name, seed=23,
+                                     audit_memory=True, **kwargs)
+        words = sorted(res.detail.get("state_words", [0]))
+        median = words[len(words) // 2]
+        print(f"{name:<10} {str(res.success):<4} {res.rounds:>8} "
+              f"{res.messages:>10} {words[-1]:>13} {median:>11}")
+
+    print("\nReading the table:")
+    print(" * dra/dhc1/dhc2 are fully distributed: max and median memory")
+    print("   are within a small factor (balanced, degree-scaled).")
+    print(" * upcast/trivial concentrate state at the BFS root: max >> median.")
+    print(" * trivial pays O(m)-scale rounds for collecting the topology.")
+
+
+if __name__ == "__main__":
+    main()

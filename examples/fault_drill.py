@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Failure-injection drill: what the algorithms do when the network lies.
+
+The paper's CONGEST model is synchronous and fault-free, so faults are
+out of scope for the *theorems* — but not for a library that claims
+production quality.  The safety contract here is:
+
+    ``result.success`` is true only for a fully verified Hamiltonian
+    cycle, no matter what the network drops or which nodes crash.
+
+This drill runs DRA under increasing message-loss rates and under a
+mid-run crash, and shows the failure modes staying *clean*: no
+exceptions, no false positives, observable drop/crash counters.
+
+Run:  python examples/fault_drill.py
+"""
+
+from repro.congest.faults import FaultInjector, FaultPlan
+from repro.core import run_dra
+from repro.graphs import gnp_random_graph, paper_probability
+from repro.reporting import render_table
+
+
+def main() -> None:
+    n = 64
+    p = paper_probability(n, delta=0.5, c=6.0)
+    graph = gnp_random_graph(n, p, seed=11)
+    print(f"input: G(n={n}, p={p:.4f}) with m={graph.m} edges")
+    print()
+
+    rows = []
+    for drop in (0.0, 0.01, 0.05, 0.2, 1.0):
+        injector = FaultInjector(FaultPlan(drop_probability=drop, seed=1))
+        result = run_dra(graph, seed=5, network_hook=injector.attach)
+        stats = injector.summary()
+        rows.append([
+            f"{drop:.0%}",
+            "cycle" if result.success else "clean failure",
+            result.rounds,
+            int(stats["offered"]),
+            int(stats["dropped"]),
+        ])
+    print(render_table(
+        ["drop rate", "outcome", "rounds", "offered msgs", "dropped"],
+        rows, title="DRA under uniform message loss"))
+    print()
+
+    # Crash-stop drill: kill one node mid-run.  A Hamiltonian cycle
+    # needs every node, so this *must* be a clean failure.
+    injector = FaultInjector(FaultPlan(crash_rounds={7: 25}))
+    result = run_dra(graph, seed=5, network_hook=injector.attach)
+    print(f"crash-stop node 7 at round 25 -> success={result.success}, "
+          f"crashed={sorted(injector.crashed)}")
+    assert not result.success, "a dead node cannot be on a Hamiltonian cycle"
+    print("safety contract held: no false success, no exceptions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Run the paper's algorithms in the k-machine (Big Data) model.
+
+Section IV claims the fully-distributed algorithms "can be used to
+obtain efficient algorithms in other distributed message-passing models
+such as the k-machine model [16]".  This example makes the claim
+concrete: the same DHC2 execution (bit-for-bit — conversion never
+perturbs the protocol) is re-costed under k-machine accounting for a
+sweep of machine counts, showing
+
+* the cross-link traffic growing with k (a random edge crosses machines
+  with probability 1 - 1/k), while
+* the *per-link* congestion — and with it the k-machine round count —
+  shrinking, because the random vertex partition spreads the traffic
+  over k(k-1)/2 links.
+
+Run:  python examples/kmachine_conversion.py
+"""
+
+from repro.graphs import gnp_random_graph, paper_probability
+from repro.kmachine import conversion_round_bound, run_converted_hc
+from repro.reporting import render_table
+
+
+def main() -> None:
+    n, delta, c = 96, 0.5, 6.0
+    p = paper_probability(n, delta=delta, c=c)
+    graph = gnp_random_graph(n, p, seed=3)
+    max_degree = max(graph.degree(v) for v in range(n))
+    print(f"input: G(n={n}, p={p:.4f}) with m={graph.m} edges, "
+          f"max degree {max_degree}")
+    print()
+
+    rows = []
+    for k in (2, 4, 8, 16):
+        # k=4 partitions keeps the per-partition walks comfortably above
+        # the small-subgraph regime at this n (the paper's guarantees
+        # are asymptotic; tiny colour classes fail with constant prob).
+        result, km = run_converted_hc(
+            graph, algorithm="dhc2", k_machines=k, seed=3, delta=delta, k=4)
+        bound = conversion_round_bound(
+            result.messages, result.rounds, max_degree, k=k)
+        rows.append([
+            k,
+            "yes" if result.success else "no",
+            km.congest_rounds,
+            km.kmachine_rounds,
+            km.cross_words,
+            km.max_round_link_words,
+            f"{km.link_imbalance():.2f}",
+            round(bound, 1),
+        ])
+
+    print(render_table(
+        ["k", "HC found", "CONGEST rounds", "k-machine rounds",
+         "cross words", "peak link load", "link imbalance",
+         "theorem bound"],
+        rows,
+        title="DHC2 under k-machine conversion (same execution, "
+              "different cost model)"))
+    print()
+    print("Reading: CONGEST rounds are identical per k (the protocol never")
+    print("changes); k-machine rounds fall as k grows because each round's")
+    print("traffic spreads over k(k-1)/2 links — the Conversion Theorem of")
+    print("Klauck et al. [16] in action.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Mini scaling study: reproduce the shape of Theorem 10 interactively.
+
+Sweeps n at two densities on the fast engine (decision-identical to the
+CONGEST simulator; see DESIGN.md) and fits the round-complexity
+exponent, printing the comparison against the paper's O~(n^delta).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.analysis import fit_power_law
+from repro.engines.fast_dhc2 import run_dhc2_fast
+from repro.graphs import gnp_random_graph, paper_probability
+
+
+def sweep(delta: float, sizes: list[int], c: float = 8.0) -> None:
+    ns, rounds = [], []
+    print(f"\ndelta = {delta:.2f}  (p = {c} ln n / n^{delta:.2f})")
+    for n in sizes:
+        p = paper_probability(n, delta, c)
+        for attempt in range(4):
+            g = gnp_random_graph(n, p, seed=n + attempt)
+            res = run_dhc2_fast(g, delta=delta, seed=n + attempt + 1)
+            if res.success:
+                break
+        print(f"  n={n:>5}  K={res.detail['k']:>3}  rounds={res.rounds:>7}  "
+              f"{'ok' if res.success else 'FAILED'}")
+        if res.success:
+            ns.append(float(n))
+            rounds.append(float(res.rounds))
+    if len(ns) >= 2:
+        _a, b = fit_power_law(ns, rounds)
+        print(f"  fitted exponent: {b:.3f}   (paper: {delta:.2f} x polylog factors)")
+
+
+def main() -> None:
+    print("DHC2 round-complexity scaling (Theorem 10: O~(n^delta))")
+    sweep(0.5, [256, 576, 1024, 2048])
+    sweep(2 / 3, [216, 512, 1000])
+
+
+if __name__ == "__main__":
+    main()

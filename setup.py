@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical build configuration lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e . --no-build-isolation --no-use-pep517``
+works in offline environments that lack the ``wheel`` package (the
+PEP 660 editable path requires it; the legacy develop path does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — distributed Hamiltonian cycles in random graphs (ICDCS 2018).
+
+A full reproduction of Chatterjee, Fathi, Pandurangan, Pham,
+"Fast and Efficient Distributed Computation of Hamiltonian Cycles in
+Random Graphs": the CONGEST simulator substrate, the DRA / DHC1 / DHC2
+fully-distributed algorithms, the centralized Upcast algorithm, and the
+sequential baselines, plus a benchmark harness that validates every
+theorem of the paper empirically.
+
+Quickstart
+----------
+>>> from repro import gnp_random_graph, paper_probability, run_dhc2
+>>> n = 256
+>>> g = gnp_random_graph(n, paper_probability(n, delta=0.5, c=4.0), seed=1)
+>>> result = run_dhc2(g, delta=0.5, seed=1)
+>>> result.success
+True
+"""
+
+from repro.graphs import (
+    Graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    hamiltonicity_threshold,
+    paper_probability,
+    random_regular_graph,
+)
+from repro.verify import is_hamiltonian_cycle, verify_cycle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "gnp_random_graph",
+    "gnm_random_graph",
+    "random_regular_graph",
+    "paper_probability",
+    "hamiltonicity_threshold",
+    "is_hamiltonian_cycle",
+    "verify_cycle",
+    "run_dra",
+    "run_dhc1",
+    "run_dhc2",
+    "run_upcast",
+    "run_trivial",
+    "run_levy",
+    "run_local_collect",
+    "find_hamiltonian_cycle",
+    "RunResult",
+    "__version__",
+]
+
+_CORE_EXPORTS = {
+    "run_dra",
+    "run_dhc1",
+    "run_dhc2",
+    "run_upcast",
+    "run_trivial",
+    "find_hamiltonian_cycle",
+    "RunResult",
+}
+
+_BASELINE_EXPORTS = {"run_levy", "run_local_collect"}
+
+
+def __getattr__(name):  # lazy: repro.core pulls in every substrate
+    if name in _CORE_EXPORTS:
+        import repro.core as _core
+
+        return getattr(_core, name)
+    if name in _BASELINE_EXPORTS:
+        import repro.baselines as _baselines
+
+        return getattr(_baselines, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

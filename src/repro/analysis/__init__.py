@@ -1,0 +1,63 @@
+"""Theory-side helpers: the paper's bounds as code, plus curve fitting.
+
+Three modules:
+
+* :mod:`repro.analysis.bounds` — the round/step budgets and predicted
+  scaling shapes of Theorems 1, 2, 10, 17, 19 and the diameter facts;
+* :mod:`repro.analysis.concentration` — the Chernoff/union machinery
+  behind every whp claim, as executable failure-probability bounds;
+* :mod:`repro.analysis.coupon` — the relaxed coupon-collector process
+  that Theorem 2's proof charges, in closed form and as a simulation.
+"""
+
+from repro.analysis.bounds import (
+    diameter_bound_sparse,
+    diameter_budget,
+    dra_step_budget,
+    fit_power_law,
+    klee_larman_diameter,
+    partition_size_bounds,
+    predicted_dhc1_rounds,
+    predicted_dhc2_rounds,
+    predicted_dra_steps,
+    predicted_upcast_rounds,
+)
+from repro.analysis.concentration import (
+    chernoff_lower,
+    chernoff_two_sided,
+    chernoff_upper,
+    merge_step_failure,
+    partition_size_failure,
+    unused_list_failure,
+)
+from repro.analysis.coupon import (
+    coupon_failure_bound,
+    closure_failure_bound,
+    expected_coupon_steps,
+    simulate_relaxed_walk,
+    theorem2_budget,
+)
+
+__all__ = [
+    "dra_step_budget",
+    "diameter_bound_sparse",
+    "diameter_budget",
+    "predicted_dra_steps",
+    "predicted_dhc1_rounds",
+    "predicted_dhc2_rounds",
+    "predicted_upcast_rounds",
+    "klee_larman_diameter",
+    "partition_size_bounds",
+    "fit_power_law",
+    "chernoff_upper",
+    "chernoff_lower",
+    "chernoff_two_sided",
+    "partition_size_failure",
+    "unused_list_failure",
+    "merge_step_failure",
+    "expected_coupon_steps",
+    "coupon_failure_bound",
+    "closure_failure_bound",
+    "simulate_relaxed_walk",
+    "theorem2_budget",
+]

@@ -1,0 +1,109 @@
+"""Concentration bounds used by the paper's proofs, as executable forms.
+
+Every whp statement in Section II rests on multiplicative Chernoff
+bounds plus union bounds.  Encoding them as functions serves two
+purposes: the protocols can size whp budgets from first principles, and
+the benchmark harness can print *predicted* failure probabilities next
+to measured failure rates (experiments E6 and E12).
+
+The bounds implemented are the standard forms the paper cites from
+Mitzenmacher–Upfal [20]:
+
+* upper tail: ``Pr[X >= (1+d) mu] <= exp(-d^2 mu / (2+d))``;
+* lower tail: ``Pr[X <= (1-d) mu] <= exp(-d^2 mu / 2)``;
+* two-sided:  ``Pr[|X - mu| >= d mu] <=  2 exp(-d^2 mu / 3)`` for d <= 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "chernoff_upper",
+    "chernoff_lower",
+    "chernoff_two_sided",
+    "partition_size_failure",
+    "unused_list_failure",
+    "merge_step_failure",
+]
+
+
+def _check(delta: float, mean: float) -> None:
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    if mean < 0:
+        raise ValueError(f"mean must be non-negative, got {mean}")
+
+
+def chernoff_upper(delta: float, mean: float) -> float:
+    """``Pr[X >= (1+delta) mu]`` bound for sums of independent 0/1 vars."""
+    _check(delta, mean)
+    if delta == 0:
+        return 1.0
+    return min(1.0, math.exp(-delta * delta * mean / (2.0 + delta)))
+
+
+def chernoff_lower(delta: float, mean: float) -> float:
+    """``Pr[X <= (1-delta) mu]`` bound; ``delta`` in [0, 1]."""
+    _check(delta, mean)
+    if not delta <= 1:
+        raise ValueError(f"lower-tail delta must be <= 1, got {delta}")
+    if delta == 0:
+        return 1.0
+    return min(1.0, math.exp(-delta * delta * mean / 2.0))
+
+
+def chernoff_two_sided(delta: float, mean: float) -> float:
+    """``Pr[|X - mu| >= delta mu]`` bound; ``delta`` in [0, 1]."""
+    _check(delta, mean)
+    if not delta <= 1:
+        raise ValueError(f"two-sided delta must be <= 1, got {delta}")
+    if delta == 0:
+        return 1.0
+    return min(1.0, 2.0 * math.exp(-delta * delta * mean / 3.0))
+
+
+def partition_size_failure(n: int, colors: int) -> float:
+    """Lemma 4/7: probability any colour class leaves ``[1/2, 3/2] n/K``.
+
+    One class deviates with probability ``<= 2 exp(-(n/K)/12)``
+    (two-sided Chernoff at delta = 1/2); union over ``K`` classes.
+    """
+    if colors < 1:
+        raise ValueError("need at least one colour")
+    expected = n / colors
+    single = chernoff_two_sided(0.5, expected)
+    return min(1.0, colors * single)
+
+
+def unused_list_failure(n: int, q: float, threshold: float) -> float:
+    """Theorem 2, event E2.2: a node's initial unused list is too short.
+
+    ``Y ~ Bin(n-1, q)``; the proof takes ``Pr[Y <= threshold]`` with
+    ``threshold = mu/2`` via the lower tail, then unions over n nodes.
+    """
+    if not 0 <= q <= 1:
+        raise ValueError(f"q must be a probability, got {q}")
+    mean = q * max(0, n - 1)
+    if mean <= 0:
+        return 1.0
+    delta = max(0.0, 1.0 - threshold / mean)
+    return min(1.0, n * chernoff_lower(min(1.0, delta), mean))
+
+
+def merge_step_failure(n: int, delta_exp: float, p: float) -> float:
+    """Lemma 8: probability the first merge level loses any pair.
+
+    A cycle pair fails when no non-adjacent cycle edge of C has a
+    bridge into C': ``(1 - p^2)^(n^delta / 2)`` per pair, unioned over
+    ``n^(1-delta)/2`` pairs.  Tiny for any laptop-scale n — printing it
+    next to measured merge failures is the point.
+    """
+    if not 0 < delta_exp <= 1:
+        raise ValueError(f"delta must be in (0, 1], got {delta_exp}")
+    if not 0 <= p <= 1:
+        raise ValueError(f"p must be a probability, got {p}")
+    part = n**delta_exp
+    pairs = max(1.0, n ** (1.0 - delta_exp) / 2.0)
+    single = (1.0 - p * p) ** (part / 2.0)
+    return min(1.0, pairs * single)

@@ -1,0 +1,21 @@
+"""Distributed baselines the paper compares against.
+
+Two comparators frame the paper's contribution:
+
+* :mod:`repro.baselines.levy` — the only prior distributed HC algorithm,
+  Levy–Louchard–Petit [18]: three phases (initial cycle, ``sqrt(n)``
+  disjoint paths, patching), ``O(n^{3/4+eps})`` rounds, requires the
+  much denser regime ``p = omega(sqrt(log n) / n^{1/4})``.
+* :mod:`repro.baselines.local_collect` — the LOCAL-model triviality of
+  footnote 6: with unbounded message sizes every problem falls to
+  "collect the topology at one node in O(D) rounds"; measuring the bits
+  it moves is what motivates CONGEST in the first place.
+
+Both return the library-standard :class:`~repro.engines.results.RunResult`
+so the comparison benches treat all algorithms uniformly.
+"""
+
+from repro.baselines.levy import run_levy
+from repro.baselines.local_collect import run_local_collect
+
+__all__ = ["run_levy", "run_local_collect"]

@@ -1,0 +1,343 @@
+"""Command-line front end: ``repro-hc``.
+
+Subcommands
+-----------
+``run``
+    One algorithm on one random graph, e.g.::
+
+        repro-hc run --algorithm dhc2 --nodes 256 --delta 0.5 --c 6 --seed 1
+        repro-hc run --algorithm dhc2 --nodes 256 --k-machines 8
+        repro-hc run --algorithm levy --nodes 256 --delta 0.25 --json
+
+``sweep``
+    Scaling study: run an algorithm over a node-count grid, print the
+    rounds table and the fitted power-law exponent::
+
+        repro-hc sweep --algorithm dhc1 --sizes 64,128,256,512 --trials 3
+
+``graph``
+    Generate a graph and report its structure (degrees, connectivity,
+    diameter, the paper's thresholds)::
+
+        repro-hc graph --nodes 512 --delta 0.5 --c 4
+
+``bounds``
+    Print the paper's predicted bounds for given parameters (round
+    budgets, failure probabilities).
+
+Invoked with legacy flags only (no subcommand), ``run`` is assumed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+from repro.analysis.bounds import (
+    diameter_budget,
+    dra_step_budget,
+    fit_power_law,
+    predicted_dhc1_rounds,
+    predicted_dhc2_rounds,
+    predicted_upcast_rounds,
+)
+from repro.analysis.concentration import merge_step_failure, partition_size_failure
+from repro.baselines import run_levy, run_local_collect
+from repro.core import find_hamiltonian_cycle
+from repro.engines.fast import run_dra_fast
+from repro.engines.fast_dhc2 import run_dhc2_fast
+from repro.graphs import (
+    degree_statistics,
+    diameter,
+    diameter_lower_bound,
+    gnm_random_graph,
+    gnp_random_graph,
+    hamiltonicity_threshold,
+    is_connected,
+    paper_probability,
+    random_regular_graph,
+)
+from repro.reporting import render_table
+
+__all__ = ["main", "build_parser"]
+
+_CONGEST_ALGORITHMS = ("dra", "dhc1", "dhc2", "upcast", "trivial")
+_EXTRA_ALGORITHMS = ("levy", "local", "dra-fast", "dhc2-fast")
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", "-n", type=int, default=256)
+    parser.add_argument("--delta", type=float, default=0.5,
+                        help="edge probability exponent: p = c ln n / n**delta")
+    parser.add_argument("--c", type=float, default=6.0,
+                        help="density constant c in p = c ln n / n**delta")
+    parser.add_argument("--model", default="gnp",
+                        choices=["gnp", "gnm", "regular"],
+                        help="random-graph model (gnm/regular match the "
+                             "expected edge count of the gnp setting)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hc",
+        description="Distributed Hamiltonian cycles in random graphs "
+                    "(ICDCS 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run_p = sub.add_parser("run", help="run one algorithm on one graph")
+    _add_graph_arguments(run_p)
+    run_p.add_argument("--algorithm", default="dhc2",
+                       choices=list(_CONGEST_ALGORITHMS + _EXTRA_ALGORITHMS))
+    run_p.add_argument("--k", type=int, default=None,
+                       help="partition count override (DHC1/DHC2)")
+    run_p.add_argument("--k-machines", type=int, default=None,
+                       help="also report k-machine conversion cost "
+                            "(fully-distributed algorithms only)")
+    run_p.add_argument("--audit-memory", action="store_true",
+                       help="record per-node peak state (fully-distributed check)")
+    run_p.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    sweep_p = sub.add_parser("sweep", help="scaling study over n")
+    _add_graph_arguments(sweep_p)
+    sweep_p.add_argument("--algorithm", default="dhc2-fast",
+                         choices=list(_CONGEST_ALGORITHMS + _EXTRA_ALGORITHMS))
+    sweep_p.add_argument("--sizes", default="64,128,256",
+                         help="comma-separated node counts")
+    sweep_p.add_argument("--trials", type=int, default=3)
+    sweep_p.add_argument("--json", action="store_true")
+
+    graph_p = sub.add_parser("graph", help="generate a graph and analyse it")
+    _add_graph_arguments(graph_p)
+    graph_p.add_argument("--exact-diameter", action="store_true",
+                         help="exact diameter (O(n m); default is a bound)")
+    graph_p.add_argument("--json", action="store_true")
+
+    bounds_p = sub.add_parser("bounds", help="print the paper's predictions")
+    _add_graph_arguments(bounds_p)
+    bounds_p.add_argument("--json", action="store_true")
+
+    return parser
+
+
+def _make_graph(args):
+    n = args.nodes
+    p = paper_probability(n, args.delta, args.c)
+    if args.model == "gnp":
+        return gnp_random_graph(n, p, seed=args.seed), p
+    expected_m = round(p * n * (n - 1) / 2)
+    if args.model == "gnm":
+        return gnm_random_graph(n, expected_m, seed=args.seed), p
+    degree = max(3, round(p * (n - 1)))
+    if (n * degree) % 2:
+        degree += 1
+    if degree > n // 2:
+        raise ValueError(
+            f"a {degree}-regular graph on {n} nodes is denser than the "
+            f"pairing model's practical range (degree <= n/2); lower --c "
+            f"or raise --delta / --nodes")
+    return random_regular_graph(n, degree, seed=args.seed), p
+
+
+def _dispatch(graph, algorithm: str, seed: int, **kwargs):
+    if algorithm == "levy":
+        return run_levy(graph, seed=seed)
+    if algorithm == "local":
+        return run_local_collect(graph, seed=seed)
+    if algorithm == "dra-fast":
+        return run_dra_fast(graph, seed=seed)
+    if algorithm == "dhc2-fast":
+        return run_dhc2_fast(graph, seed=seed, **{
+            k: v for k, v in kwargs.items() if k in ("delta", "k")})
+    return find_hamiltonian_cycle(graph, algorithm=algorithm, seed=seed, **kwargs)
+
+
+def _cmd_run(args) -> int:
+    graph, p = _make_graph(args)
+    kwargs: dict = {}
+    if args.algorithm in _CONGEST_ALGORITHMS:
+        kwargs["audit_memory"] = args.audit_memory
+    if args.algorithm in ("dhc1", "dhc2", "dhc2-fast") and args.k is not None:
+        kwargs["k"] = args.k
+    if args.algorithm in ("dhc2", "dhc2-fast"):
+        kwargs["delta"] = args.delta
+
+    kmachine_summary = None
+    if args.k_machines is not None:
+        from repro.kmachine import run_converted_hc
+
+        if args.algorithm not in ("dra", "dhc1", "dhc2"):
+            print("--k-machines applies to the fully-distributed CONGEST "
+                  "algorithms (dra, dhc1, dhc2)", file=sys.stderr)
+            return 2
+        kwargs.pop("audit_memory", None)
+        result, km = run_converted_hc(
+            graph, algorithm=args.algorithm, k_machines=args.k_machines,
+            seed=args.seed + 1, **{k: v for k, v in kwargs.items()
+                                   if k in ("delta", "k")})
+        kmachine_summary = km.summary()
+    else:
+        result = _dispatch(graph, args.algorithm, args.seed + 1, **kwargs)
+
+    if args.json:
+        payload = {
+            "algorithm": result.algorithm,
+            "n": args.nodes,
+            "p": p,
+            "m": graph.m,
+            "success": result.success,
+            "rounds": result.rounds,
+            "messages": result.messages,
+            "bits": result.bits,
+            "steps": result.steps,
+            "engine": result.engine,
+            "detail": {k: v for k, v in result.detail.items() if k != "state_words"},
+        }
+        if kmachine_summary is not None:
+            payload["kmachine"] = kmachine_summary
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"graph: {args.model}(n={args.nodes}, p={p:.4f})  m={graph.m}")
+        print(result)
+        if result.success:
+            head = " -> ".join(map(str, result.cycle[:8]))
+            print(f"cycle: {head} -> ... (length {len(result.cycle)})")
+        if kmachine_summary is not None:
+            rows = [[k, v] for k, v in kmachine_summary.items()]
+            print(render_table(["k-machine metric", "value"], rows))
+    return 0 if result.success else 1
+
+
+def _cmd_sweep(args) -> int:
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    if len(sizes) < 2:
+        print("sweep needs at least two sizes", file=sys.stderr)
+        return 2
+    rows = []
+    ns, mean_rounds = [], []
+    for n in sizes:
+        p = paper_probability(n, args.delta, args.c)
+        rounds, wins = [], 0
+        for trial in range(args.trials):
+            seed = args.seed + 1000 * trial + n
+            graph = gnp_random_graph(n, p, seed=seed)
+            sweep_kwargs = {}
+            if args.algorithm in ("dhc2", "dhc2-fast"):
+                sweep_kwargs["delta"] = args.delta
+            result = _dispatch(graph, args.algorithm, seed, **sweep_kwargs)
+            if result.success:
+                wins += 1
+                rounds.append(result.rounds)
+        mean = sum(rounds) / len(rounds) if rounds else float("nan")
+        rows.append([n, f"{p:.4f}", wins, args.trials, round(mean, 1)])
+        if rounds:
+            ns.append(float(n))
+            mean_rounds.append(mean)
+
+    exponent = None
+    if len(ns) >= 2:
+        _a, exponent = fit_power_law(ns, mean_rounds)
+    if args.json:
+        print(json.dumps({
+            "algorithm": args.algorithm,
+            "rows": rows,
+            "fitted_exponent": exponent,
+        }, indent=2))
+    else:
+        print(render_table(["n", "p", "successes", "trials", "mean rounds"], rows,
+                           title=f"{args.algorithm} sweep (delta={args.delta}, "
+                                 f"c={args.c})"))
+        if exponent is not None:
+            print(f"fitted rounds ~ n^{exponent:.3f}")
+    return 0
+
+
+def _cmd_graph(args) -> int:
+    graph, p = _make_graph(args)
+    stats = degree_statistics(graph)
+    connected = is_connected(graph)
+    diam: float | str
+    if not connected:
+        diam = "inf"
+    elif args.exact_diameter:
+        diam = diameter(graph)
+    else:
+        diam = diameter_lower_bound(graph, seed=args.seed)
+    info = {
+        "model": args.model,
+        "n": graph.n,
+        "m": graph.m,
+        "p": p,
+        "hamiltonicity_threshold": hamiltonicity_threshold(graph.n),
+        "above_threshold": p >= hamiltonicity_threshold(graph.n),
+        "connected": connected,
+        "diameter" + ("" if args.exact_diameter else "_lower_bound"): diam,
+        "degree": stats,
+    }
+    if args.json:
+        print(json.dumps(info, indent=2))
+    else:
+        rows = [[k, v] for k, v in info.items() if k != "degree"]
+        rows.extend([f"degree_{k}", v] for k, v in stats.items())
+        print(render_table(["property", "value"], rows))
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    n, delta = args.nodes, args.delta
+    k = max(1, round(n ** (1.0 - delta)))
+    part = max(3, round(n / k))
+    info = {
+        "p": paper_probability(n, delta, args.c),
+        "partitions (n^(1-delta))": k,
+        "expected partition size": part,
+        "dra_step_budget (Thm 2)": dra_step_budget(part),
+        "diameter_budget per subgraph": diameter_budget(part),
+        "predicted_dhc1_rounds (Thm 1)": round(predicted_dhc1_rounds(n), 1),
+        "predicted_dhc2_rounds (Thm 10)": round(predicted_dhc2_rounds(n, delta), 1),
+        "predicted_upcast_rounds (Thm 19)": round(
+            predicted_upcast_rounds(n, paper_probability(n, delta, args.c)), 1),
+        "partition_size_failure (Lem 4/7)": partition_size_failure(n, k),
+        "merge_step_failure (Lem 8)": merge_step_failure(
+            n, delta, paper_probability(n, delta, args.c)) if 0 < delta <= 1 else 1.0,
+        "ln(n)": round(math.log(n), 3),
+    }
+    if args.json:
+        print(json.dumps(info, indent=2))
+    else:
+        print(render_table(["bound", "value"], [[k_, v] for k_, v in info.items()],
+                           title=f"paper predictions at n={n}, delta={delta}, "
+                                 f"c={args.c}"))
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "graph": _cmd_graph,
+    "bounds": _cmd_bounds,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy invocation: bare flags imply `run`.
+    if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
+        argv = ["run", *argv]
+    args = build_parser().parse_args(argv)
+    if args.command is None:
+        build_parser().print_help()
+        return 2
+    try:
+        return _COMMANDS[args.command](args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Synchronous CONGEST-model simulator (Section I-A of the paper).
+
+Write a distributed algorithm as a :class:`~repro.congest.node.Protocol`
+subclass, instantiate a :class:`~repro.congest.network.Network` over a
+:class:`~repro.graphs.Graph`, and ``run()`` it.  The engine enforces the
+model rules (one O(log n)-bit message per edge-direction per round) and
+meters rounds, messages, bits, send balance, and per-node memory.
+"""
+
+from repro.congest.errors import (
+    BandwidthExceededError,
+    CongestError,
+    DuplicateSendError,
+    HaltedNodeError,
+    NotANeighborError,
+    RoundLimitExceeded,
+)
+from repro.congest.message import Message, payload_bits, word_bits
+from repro.congest.metrics import Metrics, state_size_words
+from repro.congest.network import DEFAULT_BANDWIDTH_WORDS, Network, run_network
+from repro.congest.node import Context, Protocol
+
+__all__ = [
+    "Network",
+    "run_network",
+    "Protocol",
+    "Context",
+    "Message",
+    "Metrics",
+    "state_size_words",
+    "payload_bits",
+    "word_bits",
+    "DEFAULT_BANDWIDTH_WORDS",
+    "CongestError",
+    "BandwidthExceededError",
+    "DuplicateSendError",
+    "NotANeighborError",
+    "HaltedNodeError",
+    "RoundLimitExceeded",
+]

@@ -1,0 +1,93 @@
+"""Execution metrics for CONGEST simulations.
+
+Rounds are the primary cost measure of the paper; we additionally track
+message and bit totals (CONGEST "efficiency"), the per-node send load
+(the "fully-distributed / balanced" claim), and — when enabled — a
+periodic audit of per-node protocol state size backing the o(n) memory
+restriction of Section II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Metrics", "state_size_words"]
+
+
+@dataclass
+class Metrics:
+    """Counters accumulated by :class:`repro.congest.network.Network`."""
+
+    rounds: int = 0
+    messages: int = 0
+    bits: int = 0
+    sent_per_node: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    peak_state_words: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    memory_audited: bool = False
+
+    def max_sent(self) -> int:
+        """Largest number of messages sent by any single node."""
+        return int(self.sent_per_node.max()) if self.sent_per_node.size else 0
+
+    def send_imbalance(self) -> float:
+        """Max/mean ratio of per-node sends (1.0 = perfectly balanced)."""
+        if self.sent_per_node.size == 0:
+            return 1.0
+        mean = float(self.sent_per_node.mean())
+        return float(self.sent_per_node.max()) / mean if mean > 0 else 1.0
+
+    def max_state_words(self) -> int:
+        """Largest protocol state (in words) observed at any node."""
+        return int(self.peak_state_words.max()) if self.peak_state_words.size else 0
+
+    def summary(self) -> dict[str, float]:
+        """A flat dict of the headline numbers, for tables and benches."""
+        out = {
+            "rounds": float(self.rounds),
+            "messages": float(self.messages),
+            "bits": float(self.bits),
+            "max_sent_per_node": float(self.max_sent()),
+            "send_imbalance": self.send_imbalance(),
+        }
+        if self.memory_audited:
+            out["max_state_words"] = float(self.max_state_words())
+        return out
+
+
+def state_size_words(obj: object, *, _depth: int = 0, _seen: set | None = None) -> int:
+    """Approximate the size of a protocol state value in machine words.
+
+    The accounting is deliberately coarse — scalars cost one word,
+    containers cost one word of overhead plus their contents — because
+    the claim being audited is asymptotic (o(n) words per node), not
+    byte-exact.  Recursion is depth-capped; anything unrecognisable
+    costs one word.  Shared containers are counted once (protocols and
+    their sub-machines hold back-references to each other; without
+    cycle detection the audit would multiply a node's true state by the
+    number of machines pointing at it).
+    """
+    if _depth > 6:
+        return 1
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return 1
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen:
+        return 1
+    _seen.add(id(obj))
+    if isinstance(obj, np.ndarray):
+        return 1 + int(obj.size)
+    if isinstance(obj, dict):
+        return 1 + sum(
+            state_size_words(k, _depth=_depth + 1, _seen=_seen)
+            + state_size_words(v, _depth=_depth + 1, _seen=_seen)
+            for k, v in obj.items()
+        )
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 1 + sum(
+            state_size_words(v, _depth=_depth + 1, _seen=_seen) for v in obj)
+    if hasattr(obj, "__dict__"):
+        return 1 + state_size_words(vars(obj), _depth=_depth + 1, _seen=_seen)
+    return 1

@@ -1,0 +1,116 @@
+"""Per-node protocol interface and execution context.
+
+A distributed algorithm is written as a :class:`Protocol` subclass; the
+simulator instantiates one per node.  Protocols are *event-driven*: a
+node's :meth:`Protocol.on_round` runs only in rounds where it received a
+message or had scheduled a wake-up, which keeps simulation cost
+proportional to actual activity (idle nodes are free, exactly as the
+paper's round accounting assumes).
+
+All interaction with the world goes through the :class:`Context`:
+
+* ``ctx.send(dest, kind, *fields)`` — one CONGEST message (delivered at
+  the start of the next round);
+* ``ctx.request_wake(round_index)`` — ask to be scheduled in a future
+  round even without incoming messages (nodes know the global round
+  number in the synchronous model, so this is legal);
+* ``ctx.halt()`` — local termination: the node will never run again.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.congest.errors import HaltedNodeError
+from repro.congest.message import Message
+from repro.congest.metrics import state_size_words
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.congest.network import Network
+
+__all__ = ["Protocol", "Context"]
+
+
+class Protocol(ABC):
+    """Base class for the code run at each node.
+
+    Subclasses keep their entire node-local state as instance
+    attributes; :meth:`state_size` audits that state for the o(n)
+    fully-distributed memory restriction (Section II).
+    """
+
+    def on_start(self, ctx: "Context") -> None:
+        """Called once before round 0.  Default: do nothing."""
+
+    @abstractmethod
+    def on_round(self, ctx: "Context", inbox: list[Message]) -> None:
+        """Called in every round where this node has messages or a wake-up.
+
+        ``inbox`` holds the messages that arrived at the end of the
+        previous round, sorted by sender id for determinism.
+        """
+
+    def state_size(self) -> int:
+        """Approximate node state in machine words (see the memory audit)."""
+        return state_size_words(vars(self)) if hasattr(self, "__dict__") else 1
+
+
+class Context:
+    """The node's window onto the network during a simulation."""
+
+    __slots__ = ("_network", "node_id", "neighbors", "_neighbor_set", "rng", "halted")
+
+    def __init__(self, network: "Network", node_id: int,
+                 neighbors: list[int], rng: np.random.Generator):
+        self._network = network
+        self.node_id = node_id
+        self.neighbors = neighbors
+        self._neighbor_set = frozenset(neighbors)
+        self.rng = rng
+        self.halted = False
+
+    @property
+    def n(self) -> int:
+        """Network size (given as input to every node; Section I-A)."""
+        return self._network.n
+
+    @property
+    def round_index(self) -> int:
+        """The current synchronous round number."""
+        return self._network.round_index
+
+    def is_neighbor(self, v: int) -> bool:
+        """Whether ``v`` is adjacent (constant-time)."""
+        return v in self._neighbor_set
+
+    def send(self, dest: int, kind: str, *fields: int) -> None:
+        """Send one CONGEST message to the adjacent node ``dest``.
+
+        The message is delivered at the start of the next round.  Raises
+        if the node is halted, ``dest`` is not a neighbour, the edge was
+        already used this round, or the payload exceeds the bit budget.
+        """
+        if self.halted:
+            raise HaltedNodeError(f"halted node {self.node_id} tried to send")
+        self._network._enqueue(self.node_id, dest, (kind, *fields))  # noqa: SLF001
+
+    def edge_free(self, dest: int) -> bool:
+        """Whether the edge to ``dest`` is still unused by us this round.
+
+        Lets protocols with several concurrent sub-activities pace their
+        sends instead of violating the one-message-per-edge rule.
+        """
+        return self._network._edge_free(self.node_id, dest)  # noqa: SLF001
+
+    def request_wake(self, round_index: int) -> None:
+        """Schedule this node to run in ``round_index`` (a future round)."""
+        if self.halted:
+            raise HaltedNodeError(f"halted node {self.node_id} requested a wake-up")
+        self._network._schedule_wake(self.node_id, round_index)  # noqa: SLF001
+
+    def halt(self) -> None:
+        """Terminate this node permanently (local termination)."""
+        self.halted = True

@@ -1,0 +1,53 @@
+"""The paper's algorithms: DRA, DHC1, DHC2, Upcast, and the trivial baseline."""
+
+from repro.core.dhc1 import Dhc1Protocol, default_sqrt_colors, run_dhc1
+from repro.core.dhc2 import Dhc2Protocol, default_color_count, run_dhc2
+from repro.core.dra import DraProtocol, run_dra
+from repro.core.rotation import RotationWalk, VirtualEdge
+from repro.core.upcast import UpcastProtocol, run_trivial, run_upcast, upcast_sample_size
+from repro.engines.results import RunResult
+from repro.graphs.adjacency import Graph
+
+__all__ = [
+    "run_dra",
+    "run_dhc1",
+    "run_dhc2",
+    "run_upcast",
+    "run_trivial",
+    "find_hamiltonian_cycle",
+    "DraProtocol",
+    "Dhc1Protocol",
+    "Dhc2Protocol",
+    "UpcastProtocol",
+    "RotationWalk",
+    "VirtualEdge",
+    "RunResult",
+    "default_color_count",
+    "default_sqrt_colors",
+    "upcast_sample_size",
+]
+
+_ALGORITHMS = {
+    "dra": run_dra,
+    "dhc1": run_dhc1,
+    "dhc2": run_dhc2,
+    "upcast": run_upcast,
+    "trivial": run_trivial,
+}
+
+
+def find_hamiltonian_cycle(graph: Graph, *, algorithm: str = "dhc2",
+                           seed: int = 0, **kwargs) -> RunResult:
+    """Convenience dispatcher over the paper's algorithms.
+
+    ``algorithm`` is one of ``dra``, ``dhc1``, ``dhc2`` (default — the
+    paper's general fully-distributed algorithm), ``upcast``, or
+    ``trivial``; extra keyword arguments flow to the specific runner.
+    """
+    try:
+        runner = _ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(_ALGORITHMS)}"
+        ) from None
+    return runner(graph, seed=seed, **kwargs)

@@ -1,0 +1,15 @@
+"""Execution engines and shared result types.
+
+Two ways to execute the paper's algorithms:
+
+* the message-level CONGEST engine (:mod:`repro.congest`) — every
+  message simulated, every model rule enforced;
+* the step-level fast engine (:mod:`repro.engines.fast`) — identical
+  algorithmic decisions and RNG streams, with rounds advanced by the
+  deterministic schedule the CONGEST protocol follows.  Used for
+  large-n scaling experiments; cross-validated by integration tests.
+"""
+
+from repro.engines.results import RunResult
+
+__all__ = ["RunResult"]

@@ -1,0 +1,192 @@
+"""Fast-engine DHC2: identical cycles, estimated rounds.
+
+Phase 1 replays exactly (same colour draws, same per-partition trees
+and walk RNG streams as the CONGEST protocol — integration tests assert
+the per-partition cycles match).  Phase 2's bridge selection is fully
+deterministic (no randomness), so the merge sequence and final
+Hamiltonian cycle are likewise identical.
+
+Rounds: Phase 1 is computed with the exact event recursion of
+:mod:`repro.engines.fast`; Phase 2 merge levels use a structural
+estimate (verify/verdict handshake + convergecast + floods + tree
+rebuild, each a small multiple of the class diameter), since the
+event-driven CONGEST implementation's exact timing depends on queue
+pacing.  Cross-engine tests bound the ratio; scaling *shape* (the
+``n**delta`` exponent of Theorem 10) is unaffected.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.analysis.bounds import diameter_budget, dra_step_budget
+from repro.core.dhc2 import default_color_count
+from repro.core.phase1 import color_at_level, colors_at_level, merge_levels
+from repro.engines.fast import _FastWalk, bfs_completion_round, build_min_id_bfs_tree
+from repro.engines.results import RunResult
+from repro.graphs.adjacency import Graph
+from repro.verify.hamiltonicity import CycleViolation, verify_cycle
+
+__all__ = ["run_dhc2_fast"]
+
+
+def run_dhc2_fast(
+    graph: Graph,
+    *,
+    delta: float = 0.5,
+    k: int | None = None,
+    seed: int = 0,
+) -> RunResult:
+    """Algorithm 3 on the fast engine (see module docstring for fidelity)."""
+    n = graph.n
+    colors = k if k is not None else default_color_count(n, delta)
+    seeds = np.random.SeedSequence(seed).spawn(n) if n else []
+    rngs = [np.random.default_rng(s) for s in seeds]
+
+    color_of = np.array([1 + int(rngs[v].integers(colors)) for v in range(n)], dtype=np.int64)
+    classes: dict[int, list[int]] = {c: [] for c in range(1, colors + 1)}
+    for v in range(n):
+        classes[int(color_of[v])].append(v)
+
+    def same_color_neighbors(v: int) -> list[int]:
+        return [int(w) for w in graph.neighbors(v) if color_of[w] == color_of[v]]
+
+    # -- Phase 1: replay every partition walk ------------------------------------
+    elect_budget = diameter_budget(max(3, (2 * n) // max(1, colors)))
+    phase1_start = 1 + elect_budget  # colour round + election deadline
+    cycles: dict[int, list[int]] = {}
+    steps = 0
+    phase1_end = phase1_start
+    for c, members in classes.items():
+        if not members:
+            return _fail(n, colors, phase1_start, "empty-partition")
+        tree = build_min_id_bfs_tree(members, same_color_neighbors, root=min(members))
+        if tree is None:
+            return _fail(n, colors, phase1_start, "partition-disconnected")
+        finish = bfs_completion_round(tree, same_color_neighbors, phase1_start)
+        walk = _FastWalk(
+            size=len(members),
+            edges_of=lambda v: [(w, 0, 0) for w in same_color_neighbors(v)],
+            rngs=rngs,
+            initial_head=tree.root,
+            step_budget=dra_step_budget(len(members)),
+            tree_depth=max(1, tree.tree_depth),
+            start_round=finish + 1,
+        )
+        walk.run()
+        steps = max(steps, walk.steps)
+        if not walk.success:
+            return _fail(n, colors, walk.end_round, f"walk-{walk.fail_code}")
+        cycles[c] = walk.cycle()
+        phase1_end = max(phase1_end, walk.end_round + tree.eccentricity(walk.flood_initiator))
+
+    # -- Phase 2: deterministic merges --------------------------------------------
+    rounds = phase1_end
+    levels = merge_levels(colors)
+    adjacency_check = graph.has_edge
+    for level in range(1, levels + 1):
+        remaining = colors_at_level(colors, level)
+        next_cycles: dict[int, list[int]] = {}
+        for a_color in range(1, remaining + 1, 2):
+            b_color = a_color + 1
+            new_color = (a_color + 1) // 2
+            a_members = cycles.get(a_color)
+            if b_color > remaining:
+                if a_members is None:
+                    return _fail(n, colors, rounds, "missing-class")
+                next_cycles[new_color] = a_members
+                continue
+            b_members = cycles.get(b_color)
+            if a_members is None or b_members is None:
+                return _fail(n, colors, rounds, "missing-class")
+            merged = _merge_pair(graph, a_members, b_members, adjacency_check)
+            if merged is None:
+                return _fail(n, colors, rounds, "no-bridge")
+            next_cycles[new_color] = merged
+            rounds += _level_cost(len(merged))
+        cycles = next_cycles
+
+    final = cycles.get(1)
+    ok = final is not None and len(final) == n
+    if ok:
+        # Normalise to start at node 0 (the congest engine's convention),
+        # keeping the successor direction.
+        start = final.index(0)
+        final = final[start:] + final[:start]
+        try:
+            verify_cycle(graph, final)
+        except CycleViolation:
+            ok = False
+    return RunResult(
+        algorithm="dhc2",
+        success=bool(ok),
+        cycle=final if ok else None,
+        rounds=rounds,
+        steps=steps,
+        engine="fast",
+        detail={"k": colors, "levels": levels},
+    )
+
+
+def _level_cost(merged_size: int) -> int:
+    """Structural per-merge round estimate (see module docstring)."""
+    diam = diameter_budget(merged_size)
+    return 24 + 8 * diam
+
+
+def _merge_pair(graph: Graph, a_cycle: list[int], b_cycle: list[int], has_edge):
+    """Replay the deterministic bridge selection and splice the cycles.
+
+    Mirrors :class:`repro.core.merge.MergeMachine`: per active node ``v``
+    (with successor ``u``), each partner-colour neighbour ``w`` answers
+    with ``w' = succ(w)`` preferred over ``pred(w)``; ``v`` keeps the
+    smallest ``w``; the winner is the smallest ``(v, w)``.
+    """
+    s_a, s_b = len(a_cycle), len(b_cycle)
+    b_pos = {v: i for i, v in enumerate(b_cycle)}
+    b_set = set(b_cycle)
+    best = None  # (v, w, u, wp, direction, w_pos, v_pos)
+    for v_pos, v in enumerate(a_cycle):
+        u = a_cycle[(v_pos + 1) % s_a]
+        local = None
+        for w in graph.neighbors(v):
+            w = int(w)
+            if w not in b_set:
+                continue
+            wp_succ = b_cycle[(b_pos[w] + 1) % s_b]
+            wp_pred = b_cycle[(b_pos[w] - 1) % s_b]
+            if has_edge(u, wp_succ):
+                cand = (w, wp_succ, 0)
+            elif has_edge(u, wp_pred):
+                cand = (w, wp_pred, 1)
+            else:
+                continue
+            if local is None or cand[0] < local[0]:
+                local = cand
+        if local is not None:
+            cand = (v, local[0], u, local[1], local[2], b_pos[local[0]], v_pos)
+            if best is None or (cand[0], cand[1]) < (best[0], best[1]):
+                best = cand
+    if best is None:
+        return None
+    v, w, u, wp, direction, w_pos, v_pos = best
+    if direction == 0:  # w' = succ(w): walk B backwards from w
+        b_seq = [b_cycle[(w_pos - t) % s_b] for t in range(s_b)]
+    else:  # w' = pred(w): keep B's orientation
+        b_seq = [b_cycle[(w_pos + t) % s_b] for t in range(s_b)]
+    u_pos = (v_pos + 1) % s_a
+    a_seq = a_cycle[u_pos:] + a_cycle[:u_pos]  # u ... v
+    return b_seq + a_seq  # w ... w' , u ... v  (closes v -> w)
+
+
+def _fail(n: int, colors: int, rounds: int, reason: str) -> RunResult:
+    return RunResult(
+        algorithm="dhc2",
+        success=False,
+        cycle=None,
+        rounds=rounds,
+        engine="fast",
+        detail={"k": colors, "levels": merge_levels(colors), "fail": reason},
+    )

@@ -1,0 +1,53 @@
+"""The result object every algorithm front-end returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one Hamiltonian-cycle computation.
+
+    Attributes
+    ----------
+    algorithm:
+        Short name ("dra", "dhc1", "dhc2", "upcast", "trivial", ...).
+    success:
+        Whether a verified Hamiltonian cycle was produced.  The paper's
+        algorithms are Monte Carlo over the input graph *and* their own
+        coins; failures are legitimate outcomes that experiment E6
+        quantifies.
+    cycle:
+        The cycle as a node sequence (closing edge implied), or ``None``.
+    rounds:
+        CONGEST rounds consumed — the paper's primary cost measure.
+    messages / bits:
+        Communication totals.
+    steps:
+        Rotation-walk steps (extensions + rotations + retries), the unit
+        of Theorem 2; 0 when not applicable.
+    engine:
+        "congest" (message-level) or "fast" (step-level).
+    detail:
+        Algorithm-specific extras (phase breakdowns, memory audit, ...).
+    """
+
+    algorithm: str
+    success: bool
+    cycle: list[int] | None
+    rounds: int
+    messages: int = 0
+    bits: int = 0
+    steps: int = 0
+    engine: str = "congest"
+    detail: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        status = "ok" if self.success else "FAILED"
+        return (
+            f"RunResult({self.algorithm}/{self.engine} {status}, "
+            f"rounds={self.rounds}, messages={self.messages}, steps={self.steps})"
+        )

@@ -1,0 +1,48 @@
+"""Random-graph substrate: data structure, generators, property analysis.
+
+Public surface:
+
+* :class:`~repro.graphs.adjacency.Graph` — immutable CSR graph.
+* :func:`~repro.graphs.gnp.gnp_random_graph` and friends — generators
+  for every model the paper touches (G(n,p), G(n,M), random regular,
+  Chung–Lu).
+* :mod:`~repro.graphs.properties` — connectivity/diameter/degree
+  analysis backing experiment E11.
+"""
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.chung_lu import chung_lu_graph, power_law_weights
+from repro.graphs.gnm import gnm_random_graph
+from repro.graphs.gnp import gnp_random_graph, hamiltonicity_threshold, paper_probability
+from repro.graphs.properties import (
+    bfs_distances,
+    connected_components,
+    degree_statistics,
+    diameter,
+    diameter_lower_bound,
+    eccentricity,
+    expected_diameter_sparse,
+    giant_component,
+    is_connected,
+)
+from repro.graphs.regular import random_regular_graph
+
+__all__ = [
+    "Graph",
+    "gnp_random_graph",
+    "paper_probability",
+    "hamiltonicity_threshold",
+    "gnm_random_graph",
+    "random_regular_graph",
+    "chung_lu_graph",
+    "power_law_weights",
+    "bfs_distances",
+    "connected_components",
+    "is_connected",
+    "giant_component",
+    "eccentricity",
+    "diameter",
+    "diameter_lower_bound",
+    "degree_statistics",
+    "expected_diameter_sparse",
+]

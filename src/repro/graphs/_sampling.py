@@ -1,0 +1,70 @@
+"""Shared sampling helpers for the random-graph generators.
+
+The generators in this package all reduce to "sample ``k`` distinct
+unordered node pairs uniformly".  Pairs ``(i, j)`` with ``0 <= i < j < n``
+are indexed row-major in the upper triangle:
+
+    index(i, j) = i*n - i*(i+1)/2 + (j - i - 1)
+
+which lets us sample pair *indices* as plain integers and decode them in
+vectorised numpy, keeping generation O(m) regardless of density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pair_count", "sample_distinct", "decode_pair_indices", "encode_pairs"]
+
+
+def pair_count(n: int) -> int:
+    """Number of unordered node pairs in an ``n``-node graph."""
+    return n * (n - 1) // 2
+
+
+def sample_distinct(rng: np.random.Generator, upper: int, k: int) -> np.ndarray:
+    """Sample ``k`` distinct integers uniformly from ``[0, upper)``.
+
+    Uses rejection (sample with replacement, deduplicate, top up) which is
+    O(k) in expectation for the sparse regimes we care about, and falls
+    back to a full permutation when ``k`` is a large fraction of ``upper``.
+    """
+    if k < 0:
+        raise ValueError("sample size must be non-negative")
+    if k > upper:
+        raise ValueError(f"cannot sample {k} distinct values from a range of {upper}")
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    if k * 3 >= upper:
+        # Dense regime: a permutation is cheaper than repeated rejection.
+        return rng.permutation(upper)[:k].astype(np.int64)
+
+    chosen = np.unique(rng.integers(0, upper, size=int(k * 1.1) + 16, dtype=np.int64))
+    while chosen.size < k:
+        extra = rng.integers(0, upper, size=k - chosen.size + 16, dtype=np.int64)
+        chosen = np.unique(np.concatenate((chosen, extra)))
+    if chosen.size > k:
+        keep = rng.choice(chosen.size, size=k, replace=False)
+        chosen = chosen[keep]
+    return np.sort(chosen)
+
+
+def decode_pair_indices(n: int, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Decode linear pair indices into ``(lo, hi)`` arrays with ``lo < hi``.
+
+    The inverse of :func:`encode_pairs`.  Rows of the upper triangle start
+    at offsets ``row_start(i) = i*n - i*(i+1)/2``; a searchsorted over the
+    row starts recovers ``lo`` exactly (no floating-point corrections).
+    """
+    rows = np.arange(n, dtype=np.int64)
+    row_starts = rows * n - rows * (rows + 1) // 2  # row_starts[n-1] == pair_count(n)
+    lo = np.searchsorted(row_starts, indices, side="right") - 1
+    hi = indices - row_starts[lo] + lo + 1
+    return lo.astype(np.int64), hi.astype(np.int64)
+
+
+def encode_pairs(n: int, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Encode pairs ``lo < hi`` into linear upper-triangle indices."""
+    lo = np.asarray(lo, dtype=np.int64)
+    hi = np.asarray(hi, dtype=np.int64)
+    return lo * n - lo * (lo + 1) // 2 + (hi - lo - 1)

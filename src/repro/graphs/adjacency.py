@@ -1,0 +1,198 @@
+"""Immutable undirected simple-graph data structure.
+
+All algorithms in this library operate on :class:`Graph`, a compressed
+sparse row (CSR) adjacency structure over nodes ``0 .. n-1``.  The CSR
+layout keeps neighbour iteration allocation-free (numpy slices) and edge
+queries logarithmic (binary search within a sorted neighbour slice),
+which matters because the CONGEST simulator touches adjacency on every
+message delivery.
+
+The structure is immutable by design: every generator in
+:mod:`repro.graphs` builds the full edge set first and then freezes it,
+mirroring how the paper treats the input graph (the topology never
+changes during an execution).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected simple graph on nodes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    edges:
+        Array-like of shape ``(m, 2)`` with one row per undirected edge.
+        Self-loops are rejected; duplicate rows (in either orientation)
+        are collapsed to a single edge.
+
+    Examples
+    --------
+    >>> g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+    >>> g.degree(0)
+    2
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    >>> g.has_edge(0, 2)
+    False
+    """
+
+    __slots__ = ("_n", "_m", "_indptr", "_indices")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] | np.ndarray = ()):
+        if n < 0:
+            raise ValueError(f"node count must be non-negative, got {n}")
+        edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                                dtype=np.int64)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise ValueError("edges must be an (m, 2) array of node pairs")
+        if edge_array.size and (edge_array.min() < 0 or edge_array.max() >= n):
+            raise ValueError("edge endpoint out of range")
+        if np.any(edge_array[:, 0] == edge_array[:, 1]):
+            raise ValueError("self-loops are not allowed in a simple graph")
+
+        lo = np.minimum(edge_array[:, 0], edge_array[:, 1])
+        hi = np.maximum(edge_array[:, 0], edge_array[:, 1])
+        if lo.size:
+            keys = lo * np.int64(n) + hi
+            keys = np.unique(keys)
+            lo, hi = keys // n, keys % n
+
+        self._n = int(n)
+        self._m = int(lo.size)
+        self._indptr, self._indices = _build_csr(n, lo, hi)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_sorted_pairs(cls, n: int, lo: np.ndarray, hi: np.ndarray) -> "Graph":
+        """Build a graph from pre-validated distinct pairs with ``lo < hi``.
+
+        Fast path used by the random-graph generators, which already
+        guarantee distinctness and orientation.  No validation is done.
+        """
+        graph = cls.__new__(cls)
+        graph._n = int(n)
+        graph._m = int(lo.size)
+        graph._indptr, graph._indices = _build_csr(n, lo, hi)
+        return graph
+
+    # -- basic queries --------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return self._m
+
+    def nodes(self) -> range:
+        """The node ids, ``0 .. n-1``."""
+        return range(self._n)
+
+    def degree(self, v: int) -> int:
+        """Degree of node ``v``."""
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of all node degrees (length ``n``)."""
+        return np.diff(self._indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour ids of ``v`` as a read-only numpy view."""
+        return self._indices[self._indptr[v]:self._indptr[v + 1]]
+
+    def neighbor_list(self, v: int) -> list[int]:
+        """Neighbours of ``v`` as a plain Python list of ints."""
+        return self.neighbors(v).tolist()
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        if u == v:
+            return False
+        row = self.neighbors(u)
+        pos = np.searchsorted(row, v)
+        return bool(pos < row.size and row[pos] == v)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges as ``(u, v)`` with ``u < v``."""
+        for u in range(self._n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array with ``u < v`` per row."""
+        src = np.repeat(np.arange(self._n, dtype=np.int64), self.degrees())
+        mask = src < self._indices
+        return np.column_stack((src[mask], self._indices[mask]))
+
+    # -- derived graphs -------------------------------------------------------
+
+    def subgraph(self, nodes: Sequence[int]) -> tuple["Graph", dict[int, int]]:
+        """Induced subgraph on ``nodes``.
+
+        Returns the subgraph (relabelled to ``0 .. len(nodes)-1`` in the
+        order given) and the mapping from original id to new id.
+        """
+        node_list = list(nodes)
+        mapping = {v: i for i, v in enumerate(node_list)}
+        if len(mapping) != len(node_list):
+            raise ValueError("duplicate node in subgraph selection")
+        pairs = []
+        member = mapping
+        for u in node_list:
+            mu = member[u]
+            for v in self.neighbors(u):
+                mv = member.get(int(v))
+                if mv is not None and mu < mv:
+                    pairs.append((mu, mv))
+        edge_arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        sub = Graph.from_sorted_pairs(len(node_list), edge_arr[:, 0], edge_arr[:, 1])
+        return sub, mapping
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, v: int) -> bool:
+        return 0 <= v < self._n
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (self._n == other._n
+                and np.array_equal(self._indptr, other._indptr)
+                and np.array_equal(self._indices, other._indices))
+
+    def __hash__(self) -> int:  # immutable, so hashable
+        return hash((self._n, self._m, self._indices.tobytes()))
+
+
+def _build_csr(n: int, lo: np.ndarray, hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Build (indptr, indices) CSR arrays from distinct pairs with lo < hi."""
+    src = np.concatenate((lo, hi))
+    dst = np.concatenate((hi, lo))
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, dst

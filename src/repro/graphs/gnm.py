@@ -1,0 +1,35 @@
+"""The ``G(n, M)`` uniform random-graph model.
+
+``G(n, M)`` is the uniform distribution over all graphs with ``n`` nodes
+and exactly ``M`` edges.  The paper mentions it as the model of
+Bollobás–Fenner–Frieze [4] and as a natural extension target
+(Section IV).  Sampling is a single draw of ``M`` distinct pair indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs._sampling import decode_pair_indices, pair_count, sample_distinct
+from repro.graphs.adjacency import Graph
+
+__all__ = ["gnm_random_graph"]
+
+
+def gnm_random_graph(n: int, m: int, *, seed: int | np.random.Generator) -> Graph:
+    """Sample a uniform graph with ``n`` nodes and exactly ``m`` edges.
+
+    Raises
+    ------
+    ValueError
+        If ``m`` exceeds the number of available node pairs.
+    """
+    if n < 0:
+        raise ValueError(f"node count must be non-negative, got {n}")
+    total = pair_count(n)
+    if not 0 <= m <= total:
+        raise ValueError(f"edge count must be in [0, {total}], got {m}")
+    rng = np.random.default_rng(seed)
+    indices = sample_distinct(rng, total, m)
+    lo, hi = decode_pair_indices(n, indices)
+    return Graph.from_sorted_pairs(n, lo, hi)

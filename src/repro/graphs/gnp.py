@@ -1,0 +1,89 @@
+"""The Erdős–Rényi ``G(n, p)`` random-graph model.
+
+The paper's algorithms are analysed on ``G(n, p)`` with
+``p = c * ln(n) / n**delta`` (Section I).  This module provides an exact
+O(m)-time sampler plus the parameterisation helpers used throughout the
+benchmarks:
+
+* :func:`gnp_random_graph` — sample a graph.
+* :func:`paper_probability` — the paper's ``p = c ln n / n**delta``.
+* :func:`hamiltonicity_threshold` — the classical ``ln n / n`` threshold
+  above which a Hamiltonian cycle exists whp [Palmer 1985, cited as 21].
+
+Sampling strategy: the number of edges of ``G(n, p)`` is
+``Binomial(C(n,2), p)``; conditioned on the count, the edge set is a
+uniform subset.  We therefore draw the count and then a uniform set of
+distinct pair indices, which is exact and avoids the O(n^2) coin-flip
+loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graphs._sampling import decode_pair_indices, pair_count, sample_distinct
+from repro.graphs.adjacency import Graph
+
+__all__ = ["gnp_random_graph", "paper_probability", "hamiltonicity_threshold"]
+
+
+def gnp_random_graph(n: int, p: float, *, seed: int | np.random.Generator) -> Graph:
+    """Sample a ``G(n, p)`` random graph.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    p:
+        Edge probability, in ``[0, 1]``.
+    seed:
+        Integer seed or numpy Generator; required, so every experiment is
+        reproducible by construction.
+
+    Examples
+    --------
+    >>> g = gnp_random_graph(100, 0.1, seed=0)
+    >>> g.n
+    100
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"edge probability must be in [0, 1], got {p}")
+    if n < 0:
+        raise ValueError(f"node count must be non-negative, got {n}")
+    rng = np.random.default_rng(seed)
+    total = pair_count(n)
+    m = int(rng.binomial(total, p)) if total and p > 0 else 0
+    indices = sample_distinct(rng, total, m)
+    lo, hi = decode_pair_indices(n, indices)
+    return Graph.from_sorted_pairs(n, lo, hi)
+
+
+def paper_probability(n: int, delta: float, c: float) -> float:
+    """The paper's edge probability ``p = c * ln(n) / n**delta``.
+
+    ``delta = 1/2`` is the DHC1 regime (Section II-A); general
+    ``delta in (0, 1]`` is the DHC2 regime (Section II-B).  The result is
+    clamped to 1.0 since small ``n`` with large ``c`` can push the formula
+    above a valid probability.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    if not 0.0 < delta <= 1.0:
+        raise ValueError(f"delta must be in (0, 1], got {delta}")
+    if c <= 0:
+        raise ValueError(f"c must be positive, got {c}")
+    return min(1.0, c * math.log(n) / n**delta)
+
+
+def hamiltonicity_threshold(n: int) -> float:
+    """The classical whp-Hamiltonicity threshold ``ln(n) / n``.
+
+    ``G(n, p)`` contains a Hamiltonian cycle with high probability when
+    ``p >= c ln n / n`` for constant ``c > 1`` (Section I, citing [21]);
+    below ``(ln n + ln ln n)/n`` it almost surely does not.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    return math.log(n) / n

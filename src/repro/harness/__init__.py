@@ -1,0 +1,35 @@
+"""Experiment harness: grids, trials, aggregation, persistence.
+
+The benchmark files under ``benchmarks/`` each hand-roll the same three
+things: a parameter grid, a loop of seeded Monte Carlo trials, and
+aggregation into the series the paper-shape assertions check.  This
+subpackage is that machinery as a library, used by the larger sweeps
+and available to downstream users building their own experiments:
+
+* :class:`~repro.harness.grid.ParameterGrid` — named cartesian products
+  with per-point overrides;
+* :class:`~repro.harness.runner.TrialRunner` — runs a trial function
+  over grid x seeds with deterministic seed derivation, collecting
+  :class:`~repro.harness.runner.Trial` records;
+* :mod:`repro.harness.aggregate` — success rates, means, quantiles,
+  group-by over trial records;
+* :class:`~repro.harness.store.TrialStore` — JSONL persistence with
+  resume (skip already-recorded trials), so long sweeps survive
+  interruption.
+"""
+
+from repro.harness.aggregate import group_by, quantile, success_rate, summarize
+from repro.harness.grid import ParameterGrid
+from repro.harness.runner import Trial, TrialRunner
+from repro.harness.store import TrialStore
+
+__all__ = [
+    "ParameterGrid",
+    "Trial",
+    "TrialRunner",
+    "TrialStore",
+    "success_rate",
+    "summarize",
+    "quantile",
+    "group_by",
+]

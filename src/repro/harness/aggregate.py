@@ -1,0 +1,86 @@
+"""Aggregation over trial records."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.harness.runner import Trial
+
+__all__ = ["success_rate", "summarize", "quantile", "group_by"]
+
+
+def success_rate(trials: Iterable[Trial]) -> float:
+    """Fraction of successful trials (0.0 for an empty input)."""
+    trials = list(trials)
+    if not trials:
+        return 0.0
+    return sum(t.success for t in trials) / len(trials)
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile, ``q`` in [0, 1]."""
+    if not values:
+        raise ValueError("quantile of empty data")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    pos = q * (len(ordered) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = pos - lo
+    result = ordered[lo] * (1 - frac) + ordered[hi] * frac
+    # Interpolation rounding can stray one ulp outside [lo, hi]; a
+    # quantile lies within the data by definition, so clamp.
+    return float(min(max(result, ordered[lo]), ordered[hi]))
+
+
+def summarize(trials: Iterable[Trial], metric: str,
+              *, successes_only: bool = True) -> dict[str, float]:
+    """Mean / std / min / median / max of one metric across trials.
+
+    By default only successful trials contribute (failed runs' round
+    counts measure the watchdog, not the algorithm); ``count`` and
+    ``success_rate`` always describe the full input.
+    """
+    trials = list(trials)
+    pool = [t for t in trials if t.success] if successes_only else trials
+    values = [t.metrics[metric] for t in pool if metric in t.metrics]
+    out = {
+        "count": float(len(trials)),
+        "success_rate": success_rate(trials),
+        "n_values": float(len(values)),
+    }
+    if values:
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        out.update({
+            "mean": mean,
+            "std": math.sqrt(var),
+            "min": min(values),
+            "median": quantile(values, 0.5),
+            "max": max(values),
+        })
+    return out
+
+
+def group_by(trials: Iterable[Trial],
+             key: str | Callable[[Trial], Any]) -> dict[Any, list[Trial]]:
+    """Group trials by a point parameter name or a key function.
+
+    Groups are returned in first-seen order (insertion-ordered dict),
+    which matches the sweep's grid order.
+    """
+    if isinstance(key, str):
+        name = key
+
+        def key_fn(trial: Trial) -> Any:
+            return trial.point.get(name)
+    else:
+        key_fn = key
+    out: dict[Any, list[Trial]] = {}
+    for trial in trials:
+        out.setdefault(key_fn(trial), []).append(trial)
+    return out

@@ -1,0 +1,71 @@
+"""Named parameter grids for experiment sweeps."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = ["ParameterGrid"]
+
+
+class ParameterGrid:
+    """The cartesian product of named parameter axes.
+
+    Examples
+    --------
+    >>> grid = ParameterGrid(n=[64, 128], delta=[0.5, 0.8])
+    >>> len(grid)
+    4
+    >>> grid.points()[0]
+    {'n': 64, 'delta': 0.5}
+
+    Axes iterate in declaration order, rightmost fastest (like nested
+    loops), so sweep output is ordered the way the paper's tables are.
+    """
+
+    def __init__(self, **axes: Sequence[Any]):
+        if not axes:
+            raise ValueError("a grid needs at least one axis")
+        for name, values in axes.items():
+            if not isinstance(values, (list, tuple)) or len(values) == 0:
+                raise ValueError(
+                    f"axis {name!r} must be a non-empty list/tuple, "
+                    f"got {values!r}")
+        self._axes: dict[str, list[Any]] = {k: list(v) for k, v in axes.items()}
+
+    @property
+    def axes(self) -> dict[str, list[Any]]:
+        """The axes as name -> values (copies; the grid is immutable)."""
+        return {k: list(v) for k, v in self._axes.items()}
+
+    def __len__(self) -> int:
+        out = 1
+        for values in self._axes.values():
+            out *= len(values)
+        return out
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        names = list(self._axes)
+        for combo in itertools.product(*self._axes.values()):
+            yield dict(zip(names, combo))
+
+    def points(self) -> list[dict[str, Any]]:
+        """All grid points as a list of dicts."""
+        return list(self)
+
+    def subset(self, predicate) -> list[dict[str, Any]]:
+        """Points for which ``predicate(point)`` is true.
+
+        Sweeps often exclude infeasible corners (e.g. partitions below
+        the small-subgraph viability floor); doing it here keeps the
+        exclusion visible in one place.
+        """
+        return [point for point in self if predicate(point)]
+
+    def with_overrides(self, **fixed: Any) -> list[dict[str, Any]]:
+        """All points with some parameters pinned to fixed values."""
+        return [{**point, **fixed} for point in self]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}x{len(v)}" for k, v in self._axes.items())
+        return f"ParameterGrid({inner}; {len(self)} points)"

@@ -1,0 +1,156 @@
+"""Trial execution with deterministic seed derivation.
+
+A *trial* is one invocation of a user function on one grid point with
+one seed.  The runner derives seeds with ``numpy``'s ``SeedSequence``
+from (master seed, point index, trial index), so
+
+* reruns reproduce bit-for-bit,
+* adding trials never changes earlier trials' seeds, and
+* no two trials share a stream even across grid points.
+
+The trial function receives ``(point, seed)`` and returns either a
+:class:`~repro.engines.results.RunResult` or any mapping with at least
+a boolean ``success`` — both are normalised into :class:`Trial`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.engines.results import RunResult
+
+__all__ = ["Trial", "TrialRunner"]
+
+
+@dataclass
+class Trial:
+    """One completed trial.
+
+    ``metrics`` holds whatever numeric fields the trial function
+    produced (rounds, messages, steps, ...); ``point`` the grid
+    parameters; ``seed`` the derived seed actually used.
+    """
+
+    point: dict[str, Any]
+    trial_index: int
+    seed: int
+    success: bool
+    metrics: dict[str, float] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def to_json(self) -> dict[str, Any]:
+        """A flat JSON-safe dict (used by :class:`TrialStore`)."""
+        return {
+            "point": self.point,
+            "trial_index": self.trial_index,
+            "seed": self.seed,
+            "success": self.success,
+            "metrics": self.metrics,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "Trial":
+        return cls(
+            point=dict(data["point"]),
+            trial_index=int(data["trial_index"]),
+            seed=int(data["seed"]),
+            success=bool(data["success"]),
+            metrics={k: float(v) for k, v in data.get("metrics", {}).items()},
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+    def key(self) -> tuple:
+        """Identity of this trial for resume de-duplication."""
+        return (tuple(sorted(self.point.items())), self.trial_index)
+
+
+class TrialRunner:
+    """Runs a trial function over grid points x trial indices.
+
+    Parameters
+    ----------
+    fn:
+        ``fn(point, seed) -> RunResult | Mapping``.
+    master_seed:
+        Root of the seed tree.
+    store:
+        Optional :class:`~repro.harness.store.TrialStore`; completed
+        trials are appended as they finish, and trials already present
+        in the store are skipped (resume).
+    """
+
+    def __init__(self, fn: Callable[[dict, int], Any], *,
+                 master_seed: int = 0, store=None):
+        self.fn = fn
+        self.master_seed = master_seed
+        self.store = store
+
+    def derive_seed(self, point_index: int, trial_index: int) -> int:
+        """The deterministic seed for (grid point #, trial #)."""
+        seq = np.random.SeedSequence(
+            entropy=self.master_seed,
+            spawn_key=(point_index, trial_index),
+        )
+        return int(seq.generate_state(1, dtype=np.uint64)[0] % (2**31 - 1))
+
+    def run(self, points, *, trials: int = 1,
+            progress: Callable[[Trial], None] | None = None) -> list[Trial]:
+        """Execute every (point, trial) pair; returns all trials in order.
+
+        With a store attached, previously recorded trials are loaded
+        instead of re-run (their stored metrics are trusted — reruns
+        are bit-identical by construction, so this is safe).
+        """
+        done: dict[tuple, Trial] = {}
+        if self.store is not None:
+            for trial in self.store.load():
+                done[trial.key()] = trial
+
+        out: list[Trial] = []
+        for point_index, point in enumerate(points):
+            for trial_index in range(trials):
+                probe = Trial(point=dict(point), trial_index=trial_index,
+                              seed=0, success=False)
+                existing = done.get(probe.key())
+                if existing is not None:
+                    out.append(existing)
+                    continue
+                seed = self.derive_seed(point_index, trial_index)
+                start = time.perf_counter()
+                raw = self.fn(dict(point), seed)
+                elapsed = time.perf_counter() - start
+                trial = _normalize(raw, dict(point), trial_index, seed, elapsed)
+                out.append(trial)
+                if self.store is not None:
+                    self.store.append(trial)
+                if progress is not None:
+                    progress(trial)
+        return out
+
+
+def _normalize(raw: Any, point: dict, trial_index: int, seed: int,
+               elapsed: float) -> Trial:
+    if isinstance(raw, RunResult):
+        metrics = {
+            "rounds": float(raw.rounds),
+            "messages": float(raw.messages),
+            "bits": float(raw.bits),
+            "steps": float(raw.steps),
+        }
+        return Trial(point=point, trial_index=trial_index, seed=seed,
+                     success=raw.success, metrics=metrics, elapsed_s=elapsed)
+    if isinstance(raw, Mapping):
+        if "success" not in raw:
+            raise ValueError("trial mapping must contain a 'success' key")
+        metrics = {k: float(v) for k, v in raw.items()
+                   if k != "success" and isinstance(v, (int, float))}
+        return Trial(point=point, trial_index=trial_index, seed=seed,
+                     success=bool(raw["success"]), metrics=metrics,
+                     elapsed_s=elapsed)
+    raise TypeError(
+        f"trial function must return RunResult or a mapping, got {type(raw)}")

@@ -1,0 +1,68 @@
+"""JSONL persistence for trials, with resume.
+
+Long sweeps (hours at large n) must survive interruption: every
+completed trial is appended as one JSON line, and a rerun of the same
+sweep skips trials whose (point, trial index) already appear.  JSONL
+keeps the file append-only — a crash can at worst truncate the final
+line, which :meth:`TrialStore.load` tolerates by skipping it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.harness.runner import Trial
+
+__all__ = ["TrialStore"]
+
+
+class TrialStore:
+    """Append-only JSONL store of :class:`~repro.harness.runner.Trial`.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "trials.jsonl")
+    >>> store = TrialStore(path)
+    >>> store.append(Trial(point={"n": 8}, trial_index=0, seed=1,
+    ...                    success=True, metrics={"rounds": 12.0}))
+    >>> [t.metrics["rounds"] for t in store.load()]
+    [12.0]
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def append(self, trial: Trial) -> None:
+        """Append one trial (creates the file and parents on first use)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(trial.to_json(), sort_keys=True))
+            fh.write("\n")
+
+    def load(self) -> list[Trial]:
+        """All stored trials; a torn final line (crash) is skipped."""
+        if not self.path.exists():
+            return []
+        with self.path.open("r", encoding="utf-8") as fh:
+            lines = [ln.strip() for ln in fh]
+        lines = [ln for ln in lines if ln]
+        out: list[Trial] = []
+        for index, line in enumerate(lines):
+            try:
+                out.append(Trial.from_json(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, ValueError):
+                if index == len(lines) - 1:
+                    break  # torn tail from a crash mid-append
+                raise  # mid-file corruption is worth surfacing
+        return out
+
+    def clear(self) -> None:
+        """Delete the store file (for tests and fresh sweeps)."""
+        if self.path.exists():
+            os.unlink(self.path)
+
+    def __len__(self) -> int:
+        return len(self.load())

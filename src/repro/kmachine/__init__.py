@@ -1,0 +1,45 @@
+"""The k-machine (Big Data) model of Klauck, Nanongkai, Pandurangan,
+Robinson (SODA 2015) — reference [16] of the paper.
+
+Section IV of the paper claims its fully-distributed algorithms "can be
+used to obtain efficient algorithms in other distributed message-passing
+models such as the k-machine model".  This subpackage makes that claim
+executable:
+
+* :class:`~repro.kmachine.partition.VertexPartition` — the model's
+  random-vertex-partition input distribution (each of the ``n`` graph
+  nodes is assigned to one of ``k`` machines uniformly at random);
+* :func:`~repro.kmachine.simulation.run_converted` — the Conversion
+  Theorem of [16] as an execution engine: it runs any CONGEST protocol
+  from this library unchanged and re-costs every round under k-machine
+  accounting (machines are fully connected; each machine pair exchanges
+  at most ``W = O(polylog n)`` bits per round; messages between two
+  graph nodes hosted by the same machine are free);
+* :func:`~repro.kmachine.simulation.conversion_round_bound` — the
+  theorem's predicted bound, for the E13 benchmark.
+
+The protocols are bit-for-bit the ones the CONGEST simulator runs
+(same RNG streams, same cycle output); only the cost model changes.
+This mirrors exactly how [16] defines conversion: the algorithm is a
+CONGEST algorithm, the machines simulate the graph nodes assigned to
+them, and the price of a round is the congestion it puts on the
+machine-to-machine links.
+"""
+
+from repro.kmachine.metrics import KMachineMetrics
+from repro.kmachine.partition import VertexPartition
+from repro.kmachine.simulation import (
+    KMachineResult,
+    conversion_round_bound,
+    run_converted,
+    run_converted_hc,
+)
+
+__all__ = [
+    "VertexPartition",
+    "KMachineMetrics",
+    "KMachineResult",
+    "run_converted",
+    "run_converted_hc",
+    "conversion_round_bound",
+]

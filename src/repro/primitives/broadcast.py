@@ -1,0 +1,139 @@
+"""Tree broadcast and convergecast — the workhorse pair behind every
+"the root tells everyone" / "everyone tells the root" step.
+
+The algorithms in :mod:`repro.core` inline these patterns where they
+need bespoke piggybacking, but as standalone sub-machines they are
+reusable (the upcast pipeline, the experiment harness's instrumented
+runs) and individually testable:
+
+* :class:`TreeBroadcast` — the root pushes a constant number of words
+  down an already-built tree; every participant receives them within
+  ``tree_depth`` rounds.
+* :class:`Convergecast` — every participant contributes a value;
+  internal nodes fold children's aggregates into their own and forward
+  up; the root ends with the tree-wide aggregate in ``tree_depth``
+  rounds.  Fold functions are associative/commutative reducers over
+  integers (min, max, sum), which is exactly the CONGEST-friendly
+  class: one word up per tree edge, total.
+
+Both run over the ``parent`` / ``children`` structure produced by
+:class:`~repro.primitives.bfs.BfsTree`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.congest.message import Message
+from repro.congest.node import Context
+from repro.primitives.submachine import SubMachine
+
+__all__ = ["TreeBroadcast", "Convergecast", "FOLDS"]
+
+#: Built-in fold functions (name -> reducer) for :class:`Convergecast`.
+FOLDS: dict[str, Callable[[int, int], int]] = {
+    "min": min,
+    "max": max,
+    "sum": lambda a, b: a + b,
+}
+
+
+class TreeBroadcast(SubMachine):
+    """Root-to-all dissemination of a tuple of integer words.
+
+    Parameters
+    ----------
+    prefix:
+        Message namespace.
+    parent / children:
+        This node's position in the tree (parent ``-1`` at the root).
+    payload:
+        The words to disseminate; only meaningful at the root (other
+        nodes pass ``None`` and receive the value).
+
+    Results (valid once ``done``): ``value`` — the broadcast words, at
+    every participant.
+    """
+
+    def __init__(self, prefix: str, *, parent: int, children: list[int],
+                 payload: tuple[int, ...] | None = None, send=None):
+        super().__init__()
+        self.PREFIX = prefix
+        self.parent = parent
+        self.children = list(children)
+        self.value: tuple[int, ...] | None = None
+        self._payload = payload
+        self._send = send if send is not None else (
+            lambda ctx, dest, kind, *f: ctx.send(dest, kind, *f))
+        if parent < 0 and payload is None:
+            raise ValueError("the root must supply the broadcast payload")
+
+    def begin(self, ctx: Context) -> None:
+        if self.parent < 0:
+            self.value = tuple(self._payload)
+            self._push(ctx)
+            self.done = True
+
+    def on_messages(self, ctx: Context, messages: list[Message]) -> None:
+        if self.done:
+            return
+        message = messages[0]  # parents send exactly once
+        self.value = tuple(message.payload[1:])
+        self._push(ctx)
+        self.done = True
+
+    def _push(self, ctx: Context) -> None:
+        for child in self.children:
+            self._send(ctx, child, self.kind("v"), *self.value)
+
+
+class Convergecast(SubMachine):
+    """All-to-root aggregation with an associative integer fold.
+
+    Parameters
+    ----------
+    prefix:
+        Message namespace.
+    parent / children:
+        Tree position (parent ``-1`` at the root).
+    value:
+        This node's own contribution.
+    fold:
+        Name in :data:`FOLDS` (``"min"``, ``"max"``, ``"sum"``).
+
+    Results (valid once ``done``): ``aggregate`` — at the *root*, the
+    fold over all participants' values; at internal nodes, over their
+    subtree (what they forwarded).
+    """
+
+    def __init__(self, prefix: str, *, parent: int, children: list[int],
+                 value: int, fold: str = "sum", send=None):
+        super().__init__()
+        self.PREFIX = prefix
+        self.parent = parent
+        self.children = list(children)
+        if fold not in FOLDS:
+            raise ValueError(f"unknown fold {fold!r}; choose from {sorted(FOLDS)}")
+        self._fold = FOLDS[fold]
+        self.aggregate = value
+        self._waiting = len(self.children)
+        self._send = send if send is not None else (
+            lambda ctx, dest, kind, *f: ctx.send(dest, kind, *f))
+
+    def begin(self, ctx: Context) -> None:
+        self._maybe_forward(ctx)
+
+    def on_messages(self, ctx: Context, messages: list[Message]) -> None:
+        if self.done:
+            return
+        for message in messages:
+            self.aggregate = self._fold(self.aggregate, message.payload[1])
+            self._waiting -= 1
+        self._maybe_forward(ctx)
+
+    def _maybe_forward(self, ctx: Context) -> None:
+        if self._waiting > 0:
+            return
+        if self.parent >= 0:
+            self._send(ctx, self.parent, self.kind("u"), self.aggregate)
+        self.done = True

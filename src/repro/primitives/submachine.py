@@ -1,0 +1,129 @@
+"""Composable sub-protocol machinery.
+
+The paper's algorithms are built from recurring distributed building
+blocks — leader election, BFS-tree construction, tree broadcast, and the
+rotation walk itself.  Each block is a :class:`SubMachine`: a per-node
+state machine with a message-kind namespace, hosted inside a full
+:class:`~repro.congest.node.Protocol`.  The host routes each round's
+incoming messages, *batched per machine*, to the machine owning their
+kind prefix, and polls ``done``.
+
+Batching matters under CONGEST: a machine that reacted to every message
+individually could easily try to send twice over one edge in a round;
+seeing the whole round's traffic at once lets it aggregate first
+(e.g. flood-min forwards only the smallest id heard this round).
+
+Sub-machines never touch the engine's wake-up API directly; the host
+multiplexes the single per-node wake stream across its machines.
+"""
+
+from __future__ import annotations
+
+from repro.congest.message import Message
+from repro.congest.node import Context
+
+__all__ = ["SubMachine", "SubMachineHost"]
+
+
+class SubMachine:
+    """Base class for a per-node sub-protocol.
+
+    Subclasses set ``PREFIX`` (their message-kind namespace, unique per
+    *instance* when several generations coexist, e.g. ``"bfs7"``) and
+    implement :meth:`begin`, :meth:`on_messages`, and optionally
+    :meth:`on_wake`.  Completion is signalled by setting
+    ``self.done = True`` plus any result attributes the host reads.
+    """
+
+    PREFIX = ""
+
+    def __init__(self) -> None:
+        self.done = False
+        self.failed = False
+        self._host: "SubMachineHost | None" = None
+
+    def kind(self, suffix: str) -> str:
+        """Fully-qualified message kind within this machine's namespace."""
+        return f"{self.PREFIX}.{suffix}"
+
+    def schedule(self, ctx: Context, round_index: int) -> None:
+        """Request a wake-up at ``round_index`` (via the host multiplexer)."""
+        assert self._host is not None, "machine used before activation"
+        self._host.machine_schedule(ctx, self, round_index)
+
+    def begin(self, ctx: Context) -> None:
+        """Called once when the host activates this machine."""
+
+    def on_messages(self, ctx: Context, messages: list[Message]) -> None:
+        """Handle this round's batch of messages in this namespace."""
+
+    def on_wake(self, ctx: Context) -> None:
+        """Handle a wake-up previously requested via :meth:`schedule`."""
+
+
+class SubMachineHost:
+    """Mixin for protocols hosting sub-machines.
+
+    Provides per-round batched message routing, early-message buffering
+    (a neighbour may reach a later phase first and send messages for a
+    machine this node has not activated yet), and wake-up multiplexing.
+    """
+
+    def __init__(self) -> None:
+        self._machines: dict[str, SubMachine] = {}
+        self._early: dict[str, list[Message]] = {}
+        self._wake_targets: dict[int, set[str]] = {}
+        self._retired: set[str] = set()
+
+    def activate(self, ctx: Context, machine: SubMachine) -> None:
+        """Start a sub-machine and replay any buffered early messages."""
+        if not machine.PREFIX:
+            raise ValueError("sub-machine must define a PREFIX")
+        machine._host = self
+        self._machines[machine.PREFIX] = machine
+        machine.begin(ctx)
+        backlog = self._early.pop(machine.PREFIX, [])
+        if backlog and not machine.done:
+            machine.on_messages(ctx, backlog)
+
+    def deactivate(self, machine: SubMachine) -> None:
+        """Remove a finished machine; later messages for it are dropped.
+
+        Retiring keeps per-node state proportional to *live* activity —
+        without it every completed election/BFS/walk would pin its peer
+        lists forever and the memory audit would overstate the
+        algorithms' footprint.
+        """
+        self._machines.pop(machine.PREFIX, None)
+        self._early.pop(machine.PREFIX, None)
+        self._retired.add(machine.PREFIX)
+
+    def machine_schedule(self, ctx: Context, machine: SubMachine, round_index: int) -> None:
+        """Request a wake-up for ``machine`` at ``round_index``."""
+        pending = self._wake_targets.setdefault(round_index, set())
+        if not pending:
+            ctx.request_wake(round_index)
+        pending.add(machine.PREFIX)
+
+    def dispatch(self, ctx: Context, inbox: list[Message]) -> None:
+        """Route this round's messages and due wake-ups to their machines.
+
+        Messages are processed before wake-ups so that deadline-style
+        wake-ups observe everything that arrived in their round.
+        """
+        batches: dict[str, list[Message]] = {}
+        for message in inbox:
+            prefix = message.kind.split(".", 1)[0]
+            batches.setdefault(prefix, []).append(message)
+        for prefix, batch in batches.items():
+            machine = self._machines.get(prefix)
+            if machine is None:
+                if prefix not in self._retired:
+                    self._early.setdefault(prefix, []).extend(batch)
+            elif not machine.done:
+                machine.on_messages(ctx, batch)
+        due = self._wake_targets.pop(ctx.round_index, set())
+        for prefix in sorted(due):
+            machine = self._machines.get(prefix)
+            if machine is not None and not machine.done:
+                machine.on_wake(ctx)

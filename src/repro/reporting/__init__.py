@@ -1,0 +1,22 @@
+"""Result presentation for the benchmark harness.
+
+The paper is a theory paper: its "tables" are theorem statements and
+its "figures" are scaling claims.  Every bench in ``benchmarks/``
+prints a paper-style series through this subpackage —
+:func:`~repro.reporting.table.render_table` for the rows,
+:func:`~repro.reporting.chart.loglog_chart` for an ASCII look at the
+scaling shape, and :class:`~repro.reporting.record.ExperimentRecord`
+for the paper-vs-measured verdicts that EXPERIMENTS.md records.
+"""
+
+from repro.reporting.chart import loglog_chart, series_chart
+from repro.reporting.record import ExperimentRecord, Verdict
+from repro.reporting.table import render_table
+
+__all__ = [
+    "render_table",
+    "loglog_chart",
+    "series_chart",
+    "ExperimentRecord",
+    "Verdict",
+]

@@ -1,0 +1,96 @@
+"""ASCII scatter charts for scaling benches.
+
+A log–log scatter is how one eyeballs a power law; these render one in
+plain text so every bench can show its scaling shape directly in the
+pytest output, matplotlib-free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["loglog_chart", "series_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def loglog_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named y-series against shared x positions, log–log scaled.
+
+    Each series gets a distinct mark; the legend maps marks back to
+    names.  Non-positive values are skipped (cannot be log-scaled).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    points: list[tuple[float, float, int]] = []
+    for idx, values in enumerate(series.values()):
+        if len(values) != len(xs):
+            raise ValueError("every series must have one value per x")
+        for x, y in zip(xs, values):
+            if x > 0 and y > 0:
+                points.append((math.log10(x), math.log10(y), idx))
+    if not points:
+        raise ValueError("no positive points to plot")
+    return _render(points, list(series), width, height, x_label, y_label,
+                   (min(p[0] for p in points), max(p[0] for p in points)),
+                   (min(p[1] for p in points), max(p[1] for p in points)),
+                   log_axes=True)
+
+
+def series_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Linear-scale variant of :func:`loglog_chart` (e.g. success rates)."""
+    if not series:
+        raise ValueError("need at least one series")
+    points = []
+    for idx, values in enumerate(series.values()):
+        if len(values) != len(xs):
+            raise ValueError("every series must have one value per x")
+        points.extend((float(x), float(y), idx) for x, y in zip(xs, values))
+    if not points:
+        raise ValueError("no points to plot")
+    return _render(points, list(series), width, height, x_label, y_label,
+                   (min(p[0] for p in points), max(p[0] for p in points)),
+                   (min(p[1] for p in points), max(p[1] for p in points)),
+                   log_axes=False)
+
+
+def _render(points, names, width, height, x_label, y_label,
+            x_range, y_range, *, log_axes) -> str:
+    x_lo, x_hi = x_range
+    y_lo, y_hi = y_range
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, idx in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = _MARKS[idx % len(_MARKS)]
+
+    def axis_value(v: float) -> str:
+        return f"1e{v:.1f}" if log_axes else f"{v:.3g}"
+
+    lines = [f"{y_label} ({axis_value(y_lo)} .. {axis_value(y_hi)})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {axis_value(x_lo)} .. {axis_value(x_hi)}")
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]}={name}" for i, name in enumerate(names))
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

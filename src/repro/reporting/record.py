@@ -1,0 +1,112 @@
+"""Paper-vs-measured experiment records.
+
+EXPERIMENTS.md is a table of verdicts: for each theorem/figure, what
+the paper predicts, what this reproduction measured, and whether the
+shape holds.  :class:`ExperimentRecord` is that row as an object — the
+benches build one, print it, and its markdown form is what the
+documentation quotes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.reporting.table import format_cell, render_table
+
+__all__ = ["Verdict", "ExperimentRecord"]
+
+
+class Verdict(enum.Enum):
+    """Outcome categories used in EXPERIMENTS.md."""
+
+    REPRODUCED = "reproduced"
+    PARTIAL = "partially reproduced"
+    DEVIATION = "deviation (documented)"
+    NOT_APPLICABLE = "not applicable"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's paper-vs-measured summary.
+
+    Attributes
+    ----------
+    experiment_id:
+        The DESIGN.md id ("E1" ... "E13", "A1" ...).
+    claim:
+        The paper's statement being tested (theorem/lemma/fact).
+    predicted:
+        The paper-side quantity (e.g. "slope 0.5 ± polylog drift").
+    measured:
+        The measured counterpart.
+    verdict:
+        A :class:`Verdict`.
+    series:
+        Optional named columns of the underlying data, e.g.
+        ``{"n": [...], "rounds": [...]}`` — all the same length.
+    notes:
+        Free-form caveats (constants used, engine, trial counts).
+    """
+
+    experiment_id: str
+    claim: str
+    predicted: str
+    measured: str
+    verdict: Verdict
+    series: dict[str, list] = field(default_factory=dict)
+    notes: str = ""
+
+    def __post_init__(self):
+        lengths = {len(v) for v in self.series.values()}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"series columns have mismatched lengths: "
+                f"{ {k: len(v) for k, v in self.series.items()} }")
+
+    def data_rows(self) -> list[list]:
+        """The series as table rows (column order = insertion order)."""
+        if not self.series:
+            return []
+        columns = list(self.series.values())
+        return [list(row) for row in zip(*columns)]
+
+    def render(self) -> str:
+        """Human-readable block for bench stdout."""
+        lines = [
+            f"[{self.experiment_id}] {self.claim}",
+            f"  paper:    {self.predicted}",
+            f"  measured: {self.measured}",
+            f"  verdict:  {self.verdict}",
+        ]
+        if self.notes:
+            lines.append(f"  notes:    {self.notes}")
+        if self.series:
+            table = render_table(list(self.series), self.data_rows())
+            lines.append("")
+            lines.extend("  " + ln for ln in table.splitlines())
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """A markdown section in the EXPERIMENTS.md house style."""
+        lines = [
+            f"### {self.experiment_id} — {self.claim}",
+            "",
+            f"- **Paper:** {self.predicted}",
+            f"- **Measured:** {self.measured}",
+            f"- **Verdict:** {self.verdict}",
+        ]
+        if self.notes:
+            lines.append(f"- **Notes:** {self.notes}")
+        if self.series:
+            headers = list(self.series)
+            lines.append("")
+            lines.append("| " + " | ".join(headers) + " |")
+            lines.append("|" + "|".join("---" for _ in headers) + "|")
+            for row in self.data_rows():
+                lines.append(
+                    "| " + " | ".join(format_cell(c) for c in row) + " |")
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for benchmark output.
+
+No dependency beyond the standard library: benches run under pytest
+and in CI logs, where aligned monospace columns are the only portable
+presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: object, *, precision: int = 3) -> str:
+    """Format one cell: floats get ``precision`` significant handling,
+    everything else is ``str()``.
+
+    Floats that are integral print without a decimal tail so round
+    counts stay readable.
+    """
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return str(value)  # nan / inf
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned monospace table.
+
+    Examples
+    --------
+    >>> print(render_table(["n", "rounds"], [[64, 112], [256, 230]]))
+    n    rounds
+    ---  ------
+    64   112
+    256  230
+    """
+    header_cells = [str(h) for h in headers]
+    body = [[format_cell(c, precision=precision) for c in row] for row in rows]
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_cells)} columns")
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(header_cells))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in body)
+    return "\n".join(parts)

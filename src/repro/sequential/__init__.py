@@ -1,0 +1,13 @@
+"""Sequential solvers: the Upcast root's local algorithm and test oracles."""
+
+from repro.sequential.angluin_valiant import angluin_valiant_cycle, sequential_step_budget
+from repro.sequential.backtracking import exact_hamiltonian_cycle, is_hamiltonian
+from repro.sequential.posa import posa_cycle
+
+__all__ = [
+    "angluin_valiant_cycle",
+    "sequential_step_budget",
+    "posa_cycle",
+    "exact_hamiltonian_cycle",
+    "is_hamiltonian",
+]

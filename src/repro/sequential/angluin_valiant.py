@@ -1,0 +1,87 @@
+"""Sequential Angluin–Valiant rotation algorithm [1], [20].
+
+The classical ``O(n log^2 n)`` randomized sequential algorithm for
+Hamiltonian cycles in ``G(n, p)`` with ``p >= c ln n / n`` — the
+algorithm our distributed DRA (Algorithm 1) distributes, and the local
+solver the Upcast root runs (Section III step 4).
+
+The implementation mirrors the textbook presentation (Mitzenmacher &
+Upfal ch. 5): grow a path from a start node; the head repeatedly takes
+a random unused incident edge; a hit on a fresh node extends the path,
+a hit on an on-path node rotates it (Fig. 2 of the paper), and a hit on
+the start node when the path spans everything closes the cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["angluin_valiant_cycle", "sequential_step_budget"]
+
+
+def sequential_step_budget(n: int, factor: float = 7.0) -> int:
+    """Theorem 2's ``7 n ln n`` step budget, reused sequentially."""
+    if n < 2:
+        return 16
+    return int(factor * n * max(1.0, math.log(n))) + 64
+
+
+def angluin_valiant_cycle(
+    n: int,
+    neighbors: Mapping[int, Sequence[int]] | None = None,
+    *,
+    graph=None,
+    rng: np.random.Generator | int = 0,
+    step_budget: int | None = None,
+) -> list[int] | None:
+    """Find a Hamiltonian cycle by rotation-extension, or ``None``.
+
+    Accepts either an adjacency mapping ``node -> neighbour list`` (as
+    the Upcast root holds after sampling) or a ``graph=`` Graph.  The
+    walk starts at node 0 and runs until closure, edge exhaustion, or
+    the step budget.
+    """
+    if graph is not None:
+        neighbors = {v: graph.neighbor_list(v) for v in range(graph.n)}
+    if neighbors is None:
+        raise ValueError("provide either an adjacency mapping or graph=")
+    if len(neighbors) != n:
+        raise ValueError(f"adjacency covers {len(neighbors)} nodes, expected {n}")
+    if n < 3:
+        return None
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    budget = step_budget if step_budget is not None else sequential_step_budget(n)
+
+    unused: dict[int, list[int]] = {v: list(neighbors[v]) for v in neighbors}
+    path = [0]
+    pos = {0: 0}
+
+    for _step in range(budget):
+        head = path[-1]
+        bucket = unused[head]
+        if not bucket:
+            return None
+        idx = int(gen.integers(len(bucket)))
+        target = bucket[idx]
+        bucket[idx] = bucket[-1]
+        bucket.pop()
+        try:
+            unused[target].remove(head)
+        except ValueError:
+            pass  # already consumed from the other side
+
+        if target not in pos:
+            pos[target] = len(path)
+            path.append(target)
+        elif target == path[0] and len(path) == n:
+            return path
+        else:
+            # Rotation: reverse the segment after the hit node (Fig. 2).
+            j = pos[target]
+            path[j + 1:] = reversed(path[j + 1:])
+            for i in range(j + 1, len(path)):
+                pos[path[i]] = i
+    return None

@@ -1,0 +1,64 @@
+"""Exact Hamiltonian-cycle solver by backtracking (test oracle).
+
+Exponential worst case — usable only for small graphs — but *exact*:
+it decides Hamiltonicity, which the randomized algorithms cannot.  The
+test suite uses it to validate the probabilistic solvers' outputs and
+failure claims on small instances.
+
+Pruning: degree-2 feasibility check, connectivity-of-remainder check
+every few levels, and least-constrained start vertex.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.adjacency import Graph
+
+__all__ = ["exact_hamiltonian_cycle", "is_hamiltonian"]
+
+_SIZE_LIMIT = 64
+
+
+def exact_hamiltonian_cycle(graph: Graph, *, size_limit: int = _SIZE_LIMIT) -> list[int] | None:
+    """An exact Hamiltonian cycle, or ``None`` if the graph has none.
+
+    Raises ``ValueError`` beyond ``size_limit`` nodes — this is a test
+    oracle, not a production solver.
+    """
+    n = graph.n
+    if n > size_limit:
+        raise ValueError(
+            f"exact search on {n} nodes exceeds size_limit={size_limit}"
+        )
+    if n < 3:
+        return None
+    if min(graph.degrees()) < 2:
+        return None
+
+    adjacency = [sorted(graph.neighbor_list(v)) for v in range(n)]
+    start = min(range(n), key=lambda v: len(adjacency[v]))
+    path = [start]
+    on_path = [False] * n
+    on_path[start] = True
+
+    def extend() -> bool:
+        if len(path) == n:
+            return graph.has_edge(path[-1], start)
+        tail = path[-1]
+        for nxt in adjacency[tail]:
+            if on_path[nxt]:
+                continue
+            # A skipped neighbour of degree 2 can never be served later.
+            path.append(nxt)
+            on_path[nxt] = True
+            if extend():
+                return True
+            path.pop()
+            on_path[nxt] = False
+        return False
+
+    return list(path) if extend() else None
+
+
+def is_hamiltonian(graph: Graph, *, size_limit: int = _SIZE_LIMIT) -> bool:
+    """Exact Hamiltonicity decision for small graphs."""
+    return exact_hamiltonian_cycle(graph, size_limit=size_limit) is not None

@@ -1,0 +1,39 @@
+"""Pósa rotation–extension with restarts.
+
+A robustness wrapper over the Angluin–Valiant walk: when a single walk
+strands (edge exhaustion or budget), restart from scratch with fresh
+randomness.  Near the Hamiltonicity threshold a single walk fails with
+noticeable probability; a handful of restarts pushes the overall
+failure rate down geometrically.  Used by the Upcast root (Section III
+step 4), where a failed local solve would otherwise waste the whole
+distributed upcast.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.sequential.angluin_valiant import angluin_valiant_cycle
+
+__all__ = ["posa_cycle"]
+
+
+def posa_cycle(
+    n: int,
+    neighbors: Mapping[int, Sequence[int]],
+    *,
+    rng: np.random.Generator | int = 0,
+    restarts: int = 8,
+    step_budget: int | None = None,
+) -> list[int] | None:
+    """Rotation–extension with up to ``restarts`` independent attempts."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    for _attempt in range(max(1, restarts)):
+        cycle = angluin_valiant_cycle(
+            n, neighbors, rng=gen, step_budget=step_budget
+        )
+        if cycle is not None:
+            return cycle
+    return None

@@ -1,0 +1,29 @@
+"""Execution tracing for CONGEST runs.
+
+Distributed algorithms fail in ways a final metrics object cannot
+explain — a walk that stalls, a merge level that never fires, a flood
+that half-finishes.  This subpackage records what actually moved on the
+wire, without touching protocols:
+
+* :class:`~repro.trace.recorder.TraceRecorder` attaches to a network's
+  ``round_observer`` and keeps a bounded, filterable record of every
+  delivered message (round, src, dst, kind);
+* :mod:`repro.trace.render` turns a trace into readable text — a
+  per-round activity timeline, per-kind traffic summaries, and a node
+  lens showing one node's conversation.
+
+Used by the debugging examples and by tests that assert *protocol
+phase structure* (e.g. "all colour announcements happen in one round")
+rather than just outcomes.
+"""
+
+from repro.trace.recorder import TraceEvent, TraceRecorder
+from repro.trace.render import activity_timeline, kind_summary, node_lens
+
+__all__ = [
+    "TraceEvent",
+    "TraceRecorder",
+    "activity_timeline",
+    "kind_summary",
+    "node_lens",
+]

@@ -1,0 +1,140 @@
+"""Message-level trace recording.
+
+The recorder observes delivered messages via
+:attr:`repro.congest.network.Network.round_observer`.  Recording every
+message of a big run would dwarf the run itself, so the recorder is
+bounded (``capacity`` most recent events, ring-buffer style) and
+filterable at capture time (by message kind prefix and/or node set) —
+filters run before storage, so a focused trace of a huge run stays
+small.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.congest.network import Network
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One delivered message.
+
+    ``round_index`` is the round the message arrives at (sends happen
+    the round before); ``kind`` is the payload tag; ``words`` the
+    payload field count (bandwidth accounting unit).
+    """
+
+    round_index: int
+    src: int
+    dst: int
+    kind: str
+    words: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"r{self.round_index:>5} {self.src:>5} -> {self.dst:<5} "
+                f"{self.kind} ({self.words}w)")
+
+
+class TraceRecorder:
+    """Bounded, filterable recorder of network traffic.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events retained (oldest evicted first).
+    kinds:
+        Optional iterable of kind *prefixes*; only matching messages
+        are recorded (e.g. ``["rw.", "ab"]`` records walk traffic and
+        aborts).  Prefix matching is how sub-machine namespaces work,
+        so one entry can capture a whole machine's conversation.
+    nodes:
+        Optional node set; a message is recorded if either endpoint is
+        in the set.
+
+    Attributes
+    ----------
+    total_seen:
+        Messages observed (pre-filter) — lets users judge how selective
+        their trace was.
+    dropped:
+        Events evicted by the capacity bound.
+    """
+
+    def __init__(self, *, capacity: int = 100_000,
+                 kinds: Iterable[str] | None = None,
+                 nodes: Iterable[int] | None = None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._kind_prefixes = tuple(kinds) if kinds is not None else None
+        self._nodes = frozenset(nodes) if nodes is not None else None
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.total_seen = 0
+        self.dropped = 0
+
+    # -- attachment ---------------------------------------------------------------
+
+    def attach(self, network: Network) -> None:
+        """Install as the network's round observer.
+
+        Chains with a pre-existing observer (e.g. k-machine accounting)
+        rather than replacing it.
+        """
+        previous = network.round_observer
+
+        def observe(net: Network, outbox) -> None:
+            if previous is not None:
+                previous(net, outbox)
+            self._observe(net, outbox)
+
+        network.round_observer = observe
+
+    def _observe(self, network: Network, outbox) -> None:
+        delivery_round = network.round_index + 1
+        for src, dst, payload in outbox:
+            self.total_seen += 1
+            kind = payload[0]
+            if self._kind_prefixes is not None and not any(
+                    kind.startswith(p) for p in self._kind_prefixes):
+                continue
+            if self._nodes is not None and (
+                    src not in self._nodes and dst not in self._nodes):
+                continue
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(TraceEvent(
+                round_index=delivery_round, src=src, dst=dst,
+                kind=kind, words=len(payload)))
+
+    # -- queries ---------------------------------------------------------------------
+
+    def events(self) -> list[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def rounds(self) -> list[int]:
+        """Distinct delivery rounds present, ascending."""
+        return sorted({e.round_index for e in self._events})
+
+    def by_kind(self) -> dict[str, int]:
+        """Message count per kind, descending by count."""
+        counts: dict[str, int] = {}
+        for e in self._events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+
+    def involving(self, node: int) -> list[TraceEvent]:
+        """Events where ``node`` is sender or receiver."""
+        return [e for e in self._events if node in (e.src, e.dst)]
+
+    def where(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        """Events satisfying an arbitrary predicate."""
+        return [e for e in self._events if predicate(e)]

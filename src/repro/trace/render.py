@@ -1,0 +1,77 @@
+"""Text renderings of a recorded trace."""
+
+from __future__ import annotations
+
+from repro.reporting.table import render_table
+from repro.trace.recorder import TraceEvent, TraceRecorder
+
+__all__ = ["activity_timeline", "kind_summary", "node_lens"]
+
+_BARS = " .:-=+*#%@"
+
+
+def activity_timeline(recorder: TraceRecorder, *, buckets: int = 60) -> str:
+    """Per-round traffic volume as an ASCII sparkline histogram.
+
+    Rounds are bucketed onto ``buckets`` columns; each column's glyph
+    encodes the bucket's message count relative to the busiest bucket.
+    The shape makes protocol phases visible at a glance — election
+    burst, quiet BFS, walk plateau, merge spikes.
+    """
+    events = recorder.events()
+    if not events:
+        return "(empty trace)"
+    first = events[0].round_index
+    last = events[-1].round_index
+    span = max(1, last - first + 1)
+    buckets = max(1, min(buckets, span))
+    counts = [0] * buckets
+    for e in events:
+        b = (e.round_index - first) * buckets // span
+        counts[min(b, buckets - 1)] += 1
+    peak = max(counts)
+    line = "".join(
+        _BARS[min(len(_BARS) - 1, (c * (len(_BARS) - 1) + peak - 1) // peak)]
+        if c else " "
+        for c in counts
+    )
+    return (f"rounds {first}..{last}, {len(events)} events, "
+            f"peak {peak}/bucket\n[{line}]")
+
+
+def kind_summary(recorder: TraceRecorder) -> str:
+    """Traffic table per message kind (count, share, first/last round)."""
+    events = recorder.events()
+    if not events:
+        return "(empty trace)"
+    spans: dict[str, tuple[int, int, int]] = {}
+    for e in events:
+        count, first, last = spans.get(e.kind, (0, e.round_index, e.round_index))
+        spans[e.kind] = (count + 1, min(first, e.round_index),
+                         max(last, e.round_index))
+    total = len(events)
+    rows = [
+        (kind, count, f"{100.0 * count / total:.1f}%", first, last)
+        for kind, (count, first, last) in
+        sorted(spans.items(), key=lambda kv: -kv[1][0])
+    ]
+    return render_table(
+        ["kind", "count", "share", "first round", "last round"], rows)
+
+
+def node_lens(recorder: TraceRecorder, node: int, *, limit: int = 40) -> str:
+    """One node's conversation, oldest first, at most ``limit`` lines."""
+    events = recorder.involving(node)
+    if not events:
+        return f"(node {node}: no recorded traffic)"
+    shown = events[:limit]
+    lines = [_format_for(node, e) for e in shown]
+    if len(events) > limit:
+        lines.append(f"... {len(events) - limit} more")
+    return "\n".join(lines)
+
+
+def _format_for(node: int, e: TraceEvent) -> str:
+    if e.src == node:
+        return f"r{e.round_index:>5}  -> {e.dst:<5} {e.kind}"
+    return f"r{e.round_index:>5}  <- {e.src:<5} {e.kind}"

@@ -1,0 +1,96 @@
+"""Hamiltonian-cycle verification.
+
+The paper's output convention (end of Section I-A): "each node will know
+which of its incident edges belong to the HC (exactly two of them)".
+Our distributed algorithms therefore report their result as a successor
+map (node -> next node on the cycle); this module checks such maps, and
+plain node sequences, against the input graph.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.graphs.adjacency import Graph
+
+__all__ = [
+    "CycleViolation",
+    "verify_cycle",
+    "is_hamiltonian_cycle",
+    "is_hamiltonian_path",
+    "cycle_from_successors",
+]
+
+
+class CycleViolation(ValueError):
+    """The proposed cycle is not a Hamiltonian cycle of the graph."""
+
+
+def verify_cycle(graph: Graph, cycle: Sequence[int]) -> None:
+    """Raise :class:`CycleViolation` unless ``cycle`` is a Hamiltonian cycle.
+
+    ``cycle`` lists the nodes in traversal order; the closing edge
+    ``cycle[-1] -> cycle[0]`` is implied.  Graphs with fewer than three
+    nodes have no Hamiltonian cycle.
+    """
+    n = graph.n
+    if n < 3:
+        raise CycleViolation(f"no Hamiltonian cycle exists on {n} < 3 nodes")
+    if len(cycle) != n:
+        raise CycleViolation(f"cycle visits {len(cycle)} nodes, expected {n}")
+    seen = set()
+    for v in cycle:
+        if not 0 <= v < n:
+            raise CycleViolation(f"node {v} out of range")
+        if v in seen:
+            raise CycleViolation(f"node {v} visited twice")
+        seen.add(v)
+    for a, b in zip(cycle, list(cycle[1:]) + [cycle[0]]):
+        if not graph.has_edge(a, b):
+            raise CycleViolation(f"({a}, {b}) is not an edge of the graph")
+
+
+def is_hamiltonian_cycle(graph: Graph, cycle: Sequence[int]) -> bool:
+    """Boolean form of :func:`verify_cycle`."""
+    try:
+        verify_cycle(graph, cycle)
+    except CycleViolation:
+        return False
+    return True
+
+
+def is_hamiltonian_path(graph: Graph, path: Sequence[int]) -> bool:
+    """Whether ``path`` visits every node exactly once along graph edges."""
+    n = graph.n
+    if len(path) != n or n == 0:
+        return False
+    if len(set(path)) != n:
+        return False
+    if any(not 0 <= v < n for v in path):
+        return False
+    return all(graph.has_edge(a, b) for a, b in zip(path, path[1:]))
+
+
+def cycle_from_successors(successors: Mapping[int, int], *, start: int = 0) -> list[int]:
+    """Flatten a successor map into a node sequence starting at ``start``.
+
+    Raises :class:`CycleViolation` if the map does not describe a single
+    cycle covering all its keys.
+    """
+    if start not in successors:
+        raise CycleViolation(f"start node {start} has no successor entry")
+    cycle = [start]
+    v = successors[start]
+    while v != start:
+        if len(cycle) > len(successors):
+            raise CycleViolation("successor map does not close into one cycle")
+        if v not in successors:
+            raise CycleViolation(f"node {v} has no successor entry")
+        cycle.append(v)
+        v = successors[v]
+    if len(cycle) != len(successors):
+        raise CycleViolation(
+            f"successor map splits into multiple cycles "
+            f"({len(cycle)} of {len(successors)} nodes reached)"
+        )
+    return cycle

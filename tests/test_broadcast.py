@@ -1,0 +1,189 @@
+"""Tests for TreeBroadcast and Convergecast (repro.primitives.broadcast).
+
+Each primitive is tested standalone on hand-built trees, then composed
+with a real distributed BFS tree — the way the algorithms use them.
+"""
+
+import pytest
+
+from repro.congest import Message, Network, Protocol
+from repro.graphs import gnp_random_graph
+from repro.primitives import BfsTree, Convergecast, SubMachineHost, TreeBroadcast
+
+from tests.conftest import path_graph, ring
+
+
+class _TreeHost(Protocol, SubMachineHost):
+    """Builds a BFS tree, then runs a follow-up machine over it.
+
+    The follow-up starts one round after the BFS completes — its first
+    sends must not share edges with the BFS commit wave (the same
+    one-round gap the DRA protocol uses before its walk).
+    """
+
+    def __init__(self, node_id, followup_factory):
+        SubMachineHost.__init__(self)
+        self.node_id = node_id
+        self.followup_factory = followup_factory
+        self.bfs = None
+        self.followup = None
+        self._followup_at = -1
+
+    def on_start(self, ctx):
+        self.bfs = BfsTree("bt", ctx.neighbors, is_root=ctx.node_id == 0,
+                           deadline=200)
+        self.activate(ctx, self.bfs)
+
+    def on_round(self, ctx, inbox):
+        self.dispatch(ctx, inbox)
+        if self.bfs.done and self.followup is None:
+            assert not self.bfs.failed
+            if self._followup_at < 0:
+                self._followup_at = ctx.round_index + 1
+                ctx.request_wake(self._followup_at)
+            elif ctx.round_index >= self._followup_at:
+                self.followup = self.followup_factory(ctx, self.bfs)
+                self.activate(ctx, self.followup)
+        if self.followup is not None and self.followup.done and not ctx.halted:
+            ctx.halt()
+
+
+def _run_over_tree(graph, followup_factory, *, seed=0, max_rounds=600):
+    net = Network(graph, lambda v: _TreeHost(v, followup_factory), seed=seed)
+    net.run(max_rounds=max_rounds)
+    return [p.followup for p in net.protocols]
+
+
+class TestTreeBroadcast:
+    def test_every_node_receives_on_a_ring(self):
+        machines = _run_over_tree(
+            ring(12),
+            lambda ctx, bfs: TreeBroadcast(
+                "bc", parent=bfs.parent, children=bfs.children,
+                payload=(7, 42) if bfs.parent < 0 else None),
+        )
+        assert all(m.value == (7, 42) for m in machines)
+
+    def test_on_random_graph(self):
+        g = gnp_random_graph(40, 0.2, seed=3)
+        machines = _run_over_tree(
+            g,
+            lambda ctx, bfs: TreeBroadcast(
+                "bc", parent=bfs.parent, children=bfs.children,
+                payload=(9,) if bfs.parent < 0 else None),
+            seed=3,
+        )
+        assert all(m.value == (9,) for m in machines)
+
+    def test_root_must_have_payload(self):
+        with pytest.raises(ValueError, match="payload"):
+            TreeBroadcast("bc", parent=-1, children=[1], payload=None)
+
+    def test_leaf_completes_without_children(self):
+        # A two-node path: node 1 is a leaf; the broadcast reaches it in
+        # one round.
+        machines = _run_over_tree(
+            path_graph(2),
+            lambda ctx, bfs: TreeBroadcast(
+                "bc", parent=bfs.parent, children=bfs.children,
+                payload=(5,) if bfs.parent < 0 else None),
+        )
+        assert [m.value for m in machines] == [(5,), (5,)]
+
+
+class TestConvergecast:
+    def test_sum_counts_participants(self):
+        machines = _run_over_tree(
+            ring(10),
+            lambda ctx, bfs: Convergecast(
+                "cc", parent=bfs.parent, children=bfs.children,
+                value=1, fold="sum"),
+        )
+        assert machines[0].aggregate == 10  # the root's total
+
+    def test_min_finds_global_minimum(self):
+        machines = _run_over_tree(
+            ring(8),
+            lambda ctx, bfs: Convergecast(
+                "cc", parent=bfs.parent, children=bfs.children,
+                value=100 + ctx.node_id if ctx.node_id != 5 else 3,
+                fold="min"),
+        )
+        assert machines[0].aggregate == 3
+
+    def test_max_on_random_graph(self):
+        g = gnp_random_graph(30, 0.25, seed=1)
+        machines = _run_over_tree(
+            g,
+            lambda ctx, bfs: Convergecast(
+                "cc", parent=bfs.parent, children=bfs.children,
+                value=ctx.node_id, fold="max"),
+            seed=1,
+        )
+        assert machines[0].aggregate == 29
+
+    def test_internal_nodes_hold_subtree_aggregates(self):
+        machines = _run_over_tree(
+            path_graph(5),
+            lambda ctx, bfs: Convergecast(
+                "cc", parent=bfs.parent, children=bfs.children,
+                value=1, fold="sum"),
+        )
+        # On a path rooted at 0, node i's subtree is {i, ..., 4}.
+        assert [m.aggregate for m in machines] == [5, 4, 3, 2, 1]
+
+    def test_unknown_fold_rejected(self):
+        with pytest.raises(ValueError, match="fold"):
+            Convergecast("cc", parent=-1, children=[], value=0, fold="mean")
+
+
+class TestComposition:
+    def test_count_then_announce(self):
+        """The classic pair: convergecast a count, broadcast it back."""
+
+        class _Pipeline(Protocol, SubMachineHost):
+            def __init__(self, node_id):
+                SubMachineHost.__init__(self)
+                self.node_id = node_id
+                self.bfs = None
+                self.count = None
+                self.announce = None
+                self.learned = None
+                self._count_at = -1
+
+            def on_start(self, ctx):
+                self.bfs = BfsTree("bt", ctx.neighbors,
+                                   is_root=ctx.node_id == 0, deadline=200)
+                self.activate(ctx, self.bfs)
+
+            def on_round(self, ctx, inbox):
+                self.dispatch(ctx, inbox)
+                if self.bfs.done and self.count is None:
+                    # One-round gap after the BFS commit wave (edge reuse).
+                    if self._count_at < 0:
+                        self._count_at = ctx.round_index + 1
+                        ctx.request_wake(self._count_at)
+                        return
+                    if ctx.round_index < self._count_at:
+                        return
+                    self.count = Convergecast(
+                        "cc", parent=self.bfs.parent,
+                        children=self.bfs.children, value=1, fold="sum")
+                    self.activate(ctx, self.count)
+                if (self.count is not None and self.count.done
+                        and self.announce is None):
+                    payload = ((self.count.aggregate,)
+                               if self.bfs.parent < 0 else None)
+                    self.announce = TreeBroadcast(
+                        "an", parent=self.bfs.parent,
+                        children=self.bfs.children, payload=payload)
+                    self.activate(ctx, self.announce)
+                if self.announce is not None and self.announce.done:
+                    self.learned = self.announce.value[0]
+                    if not ctx.halted:
+                        ctx.halt()
+
+        g = gnp_random_graph(25, 0.3, seed=2)
+        net = Network(g, _Pipeline, seed=2)
+        net.run(max_rounds=600)
+        assert all(p.learned == 25 for p in net.protocols)

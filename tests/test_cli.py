@@ -1,0 +1,174 @@
+"""Tests for the ``repro-hc`` command-line front end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestRunCommand:
+    def test_dhc2_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dhc2", "--nodes", "64",
+            "--delta", "0.5", "--c", "6", "--seed", "3", "--json")
+        payload = json.loads(out)
+        assert payload["algorithm"] == "dhc2"
+        assert payload["n"] == 64
+        assert isinstance(payload["rounds"], int)
+        assert code in (0, 1)
+        assert code == (0 if payload["success"] else 1)
+
+    def test_legacy_flags_imply_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--algorithm", "dra", "--nodes", "48", "--seed", "1",
+            "--json")
+        payload = json.loads(out)
+        assert payload["algorithm"] == "dra"
+
+    def test_human_output_mentions_cycle(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra", "--nodes", "48",
+            "--seed", "1")
+        assert "graph: gnp(n=48" in out
+        if code == 0:
+            assert "cycle:" in out
+
+    def test_levy_baseline_runs(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "levy", "--nodes", "96",
+            "--delta", "0.25", "--c", "2", "--seed", "1", "--json")
+        payload = json.loads(out)
+        assert payload["algorithm"] == "levy"
+        assert payload["engine"] == "fast"
+
+    def test_local_baseline_runs(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "local", "--nodes", "96",
+            "--seed", "1", "--json")
+        payload = json.loads(out)
+        assert payload["algorithm"] == "local"
+        assert payload["bits"] > 0
+
+    def test_kmachine_conversion_report(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra", "--nodes", "48",
+            "--seed", "2", "--k-machines", "4", "--json")
+        payload = json.loads(out)
+        assert "kmachine" in payload
+        assert payload["kmachine"]["k"] == 4.0
+
+    def test_kmachine_rejected_for_centralized(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "--algorithm", "upcast", "--nodes", "48",
+            "--k-machines", "4")
+        assert code == 2
+        assert "fully-distributed" in err
+
+    def test_gnm_model(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra-fast", "--nodes", "64",
+            "--model", "gnm", "--seed", "2", "--json")
+        payload = json.loads(out)
+        assert payload["m"] > 0
+
+    def test_regular_model(self, capsys):
+        # delta=1, c=2 keeps the matched degree inside the pairing
+        # model's samplable range.
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra-fast", "--nodes", "64",
+            "--model", "regular", "--delta", "1.0", "--c", "2",
+            "--seed", "2", "--json")
+        payload = json.loads(out)
+        assert payload["m"] > 0
+
+    def test_regular_model_infeasible_degree_is_a_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "--algorithm", "dra-fast", "--nodes", "64",
+            "--model", "regular", "--delta", "0.5", "--c", "6")
+        assert code == 2
+        assert "pairing model" in err
+
+
+class TestSweepCommand:
+    def test_sweep_fits_exponent(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "--algorithm", "dra-fast",
+            "--sizes", "48,96,192", "--trials", "2", "--c", "8",
+            "--delta", "1.0", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert len(payload["rows"]) == 3
+        assert payload["fitted_exponent"] is not None
+
+    def test_sweep_table_output(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "--algorithm", "dra-fast",
+            "--sizes", "48,96", "--trials", "1", "--c", "8", "--delta", "1.0")
+        assert code == 0
+        assert "mean rounds" in out
+        assert "fitted rounds ~ n^" in out
+
+    def test_sweep_needs_two_sizes(self, capsys):
+        code, _, err = run_cli(capsys, "sweep", "--sizes", "64")
+        assert code == 2
+        assert "two sizes" in err
+
+
+class TestGraphCommand:
+    def test_graph_properties_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "graph", "--nodes", "128", "--delta", "0.5",
+            "--c", "4", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["n"] == 128
+        assert payload["above_threshold"] is True
+        assert payload["connected"] is True
+        assert payload["degree"]["mean"] > 0
+
+    def test_graph_exact_diameter(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "graph", "--nodes", "64", "--delta", "0.5",
+            "--c", "4", "--exact-diameter", "--json")
+        payload = json.loads(out)
+        assert payload["diameter"] >= 1
+
+    def test_graph_table_output(self, capsys):
+        code, out, _ = run_cli(capsys, "graph", "--nodes", "64")
+        assert "property" in out
+        assert "degree_mean" in out
+
+
+class TestBoundsCommand:
+    def test_bounds_json(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "bounds", "--nodes", "1024", "--delta", "0.5",
+            "--c", "6", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["partitions (n^(1-delta))"] == 32
+        assert payload["dra_step_budget (Thm 2)"] > 0
+        assert 0 <= payload["partition_size_failure (Lem 4/7)"] <= 1
+
+    def test_bounds_table(self, capsys):
+        code, out, _ = run_cli(capsys, "bounds", "--nodes", "256")
+        assert "Thm 10" in out
+
+
+class TestTopLevel:
+    def test_no_command_prints_help(self, capsys):
+        code, out, _ = run_cli(capsys)
+        assert code == 2
+        assert "Subcommand" in out or "usage" in out.lower()
+
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0

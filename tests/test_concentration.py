@@ -1,0 +1,138 @@
+"""Tests for the concentration-bound helpers (repro.analysis.concentration).
+
+Each bound is checked three ways: algebraic sanity (monotonicity,
+range), agreement with the paper's plugged-in numbers, and — the
+interesting part — *validity against simulation*: the measured tail
+frequency of the actual random process must not exceed the bound.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.concentration import (
+    chernoff_lower,
+    chernoff_two_sided,
+    chernoff_upper,
+    merge_step_failure,
+    partition_size_failure,
+    unused_list_failure,
+)
+
+
+class TestChernoffForms:
+    def test_zero_delta_is_vacuous(self):
+        assert chernoff_upper(0.0, 100.0) == 1.0
+        assert chernoff_lower(0.0, 100.0) == 1.0
+        assert chernoff_two_sided(0.0, 100.0) == 1.0
+
+    def test_paper_e2_1_number(self):
+        # Theorem 2, event E2.1: Pr[X >= 3 mu] with mu = 7 ln n is
+        # O(n^-4); the paper evaluates the bound (e^2/27)^(7 ln n).
+        n = 1000
+        mu = 7 * math.log(n)
+        bound = chernoff_upper(2.0, mu)
+        assert bound <= n**-4.0 * 10  # same order
+
+    def test_lemma4_two_sided_form(self):
+        # Lemma 4: Pr[|X - sqrt(n)| >= sqrt(n)/2] <= 2 exp(-sqrt(n)/12).
+        n = 10_000
+        expected = math.sqrt(n)
+        assert chernoff_two_sided(0.5, expected) == pytest.approx(
+            2.0 * math.exp(-expected / 12.0))
+
+    def test_monotone_in_delta_and_mean(self):
+        assert chernoff_upper(1.0, 50) < chernoff_upper(0.5, 50)
+        assert chernoff_upper(0.5, 100) < chernoff_upper(0.5, 50)
+        assert chernoff_lower(0.9, 50) < chernoff_lower(0.3, 50)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            chernoff_upper(-0.1, 10)
+        with pytest.raises(ValueError):
+            chernoff_lower(1.5, 10)
+        with pytest.raises(ValueError):
+            chernoff_two_sided(2.0, 10)
+        with pytest.raises(ValueError):
+            chernoff_upper(0.5, -1)
+
+    @given(delta=st.floats(0.01, 1.0), mean=st.floats(1.0, 1e4))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_are_probabilities(self, delta, mean):
+        for fn in (chernoff_upper, chernoff_lower, chernoff_two_sided):
+            value = fn(delta, mean)
+            assert 0.0 <= value <= 1.0
+
+    def test_upper_tail_bound_holds_empirically(self):
+        # Binomial(200, 0.3), mu = 60: measured Pr[X >= 1.5 mu] must be
+        # below the bound (with simulation slack).
+        rng = np.random.default_rng(0)
+        mu, delta = 60.0, 0.5
+        draws = rng.binomial(200, 0.3, size=20_000)
+        measured = float(np.mean(draws >= (1 + delta) * mu))
+        assert measured <= chernoff_upper(delta, mu) + 0.01
+
+    def test_lower_tail_bound_holds_empirically(self):
+        rng = np.random.default_rng(1)
+        mu, delta = 60.0, 0.5
+        draws = rng.binomial(200, 0.3, size=20_000)
+        measured = float(np.mean(draws <= (1 - delta) * mu))
+        assert measured <= chernoff_lower(delta, mu) + 0.01
+
+
+class TestPaperFailureBounds:
+    def test_partition_failure_shrinks_with_n(self):
+        values = [partition_size_failure(n, int(math.isqrt(n)))
+                  for n in (256, 1024, 4096, 16384)]
+        assert values == sorted(values, reverse=True)
+
+    def test_partition_failure_empirical(self):
+        # Measured frequency of any class leaving [1/2, 3/2] * n/K must
+        # not exceed the union bound.
+        n, colors, trials = 1024, 8, 300
+        rng = np.random.default_rng(2)
+        expected = n / colors
+        bad = 0
+        for _ in range(trials):
+            sizes = np.bincount(rng.integers(0, colors, size=n), minlength=colors)
+            if np.any(sizes < expected / 2) or np.any(sizes > 1.5 * expected):
+                bad += 1
+        assert bad / trials <= partition_size_failure(n, colors) + 0.02
+
+    def test_partition_failure_rejects_zero_colors(self):
+        with pytest.raises(ValueError):
+            partition_size_failure(100, 0)
+
+    def test_unused_list_failure_paper_numbers(self):
+        # E2.2: q >= 43 ln n / n gives E[Y] >= 42 ln n and
+        # Pr[Y <= 21 ln n] = O(n^-4) per node, O(n^-3) after union.
+        n = 2000
+        q = 43 * math.log(n) / n
+        bound = unused_list_failure(n, q, threshold=21 * math.log(n))
+        assert bound <= n**-3.0 * 100
+
+    def test_unused_list_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            unused_list_failure(100, 1.5, threshold=10)
+
+    def test_merge_failure_is_negligible_at_paper_scale(self):
+        # Lemma 8: the first merge level fails with "very high
+        # probability" — at n = 4096, delta = 0.5, the union bound is
+        # already ~3e-12, i.e. negligible next to Phase 1's O(1/n).
+        bound = merge_step_failure(4096, 0.5, p=6 * math.log(4096) / 4096**0.5)
+        assert bound < 1e-10
+        assert bound < 1.0 / 4096
+
+    def test_merge_failure_monotone_in_p(self):
+        lo = merge_step_failure(1024, 0.5, p=0.02)
+        hi = merge_step_failure(1024, 0.5, p=0.2)
+        assert hi <= lo
+
+    def test_merge_failure_validates_arguments(self):
+        with pytest.raises(ValueError):
+            merge_step_failure(100, 1.5, 0.1)
+        with pytest.raises(ValueError):
+            merge_step_failure(100, 0.5, 1.1)

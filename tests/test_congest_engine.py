@@ -1,0 +1,234 @@
+"""Tests for the CONGEST simulator: model rules, delivery, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.congest import (
+    BandwidthExceededError,
+    DuplicateSendError,
+    Message,
+    Network,
+    NotANeighborError,
+    Protocol,
+    RoundLimitExceeded,
+    payload_bits,
+    state_size_words,
+    word_bits,
+)
+from repro.graphs import Graph
+
+from tests.conftest import path_graph, ring
+
+
+class Silent(Protocol):
+    def __init__(self, v):
+        self.v = v
+
+    def on_round(self, ctx, inbox):
+        ctx.halt()
+
+
+class TestMessageAccounting:
+    def test_word_bits(self):
+        assert word_bits(1) == 1
+        assert word_bits(255) == 8
+        assert word_bits(256) == 9
+
+    def test_payload_bits_counts_fields(self):
+        assert payload_bits(("k", 1, 2, 3), 255) == 8 + 3 * 8
+
+    def test_message_kind(self):
+        msg = Message(0, ("ping", 7))
+        assert msg.kind == "ping"
+        assert msg.bits(255) == 8 + 8
+
+
+class TestModelRules:
+    def test_bandwidth_enforced(self):
+        class Chatty(Protocol):
+            def on_start(self, ctx):
+                ctx.send(ctx.neighbors[0], "big", *range(50))
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        net = Network(ring(4), lambda v: Chatty(), bandwidth_words=8)
+        with pytest.raises(BandwidthExceededError):
+            net.run(max_rounds=5)
+
+    def test_one_message_per_edge_per_round(self):
+        class Doubler(Protocol):
+            def on_start(self, ctx):
+                ctx.send(ctx.neighbors[0], "a")
+                ctx.send(ctx.neighbors[0], "b")
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(DuplicateSendError):
+            Network(ring(4), lambda v: Doubler()).run(max_rounds=5)
+
+    def test_non_neighbor_send_rejected(self):
+        class Reacher(Protocol):
+            def on_start(self, ctx):
+                ctx.send((ctx.node_id + 2) % ctx.n, "x")
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(NotANeighborError):
+            Network(ring(6), lambda v: Reacher()).run(max_rounds=5)
+
+    def test_edge_free_reflects_usage(self):
+        seen = {}
+
+        class Checker(Protocol):
+            def on_start(self, ctx):
+                seen["before"] = ctx.edge_free(ctx.neighbors[0])
+                ctx.send(ctx.neighbors[0], "x")
+                seen["after"] = ctx.edge_free(ctx.neighbors[0])
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        Network(ring(3), lambda v: Checker()).run(max_rounds=3)
+        assert seen == {"before": True, "after": False}
+
+
+class TestDeliverySemantics:
+    def test_next_round_delivery_and_sender(self):
+        log = []
+
+        class PingPong(Protocol):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(1, "ping", 42)
+
+            def on_round(self, ctx, inbox):
+                for msg in inbox:
+                    log.append((ctx.round_index, msg.sender, msg.payload))
+                ctx.halt()
+
+        Network(path_graph(2), lambda v: PingPong()).run(max_rounds=4)
+        assert log == [(1, 0, ("ping", 42))]
+
+    def test_inbox_sorted_by_sender(self):
+        order = []
+
+        class Collect(Protocol):
+            def on_start(self, ctx):
+                if ctx.node_id != 2:
+                    ctx.send(2, "hi")
+
+            def on_round(self, ctx, inbox):
+                order.extend(m.sender for m in inbox)
+                ctx.halt()
+
+        g = Graph(4, [(0, 2), (1, 2), (3, 2)])
+        Network(g, lambda v: Collect()).run(max_rounds=4)
+        assert order == [0, 1, 3]
+
+    def test_wake_scheduling(self):
+        fired = []
+
+        class Sleeper(Protocol):
+            def on_start(self, ctx):
+                ctx.request_wake(5)
+
+            def on_round(self, ctx, inbox):
+                fired.append(ctx.round_index)
+                ctx.halt()
+
+        Network(ring(3), lambda v: Sleeper()).run(max_rounds=10)
+        assert fired == [5, 5, 5]
+
+    def test_wake_must_be_future(self):
+        class BadWake(Protocol):
+            def on_start(self, ctx):
+                ctx.request_wake(0)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        with pytest.raises(ValueError):
+            Network(ring(3), lambda v: BadWake()).run(max_rounds=3)
+
+
+class TestTermination:
+    def test_quiescence_without_halt(self):
+        class Once(Protocol):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(ctx.neighbors[0], "x")
+
+            def on_round(self, ctx, inbox):
+                pass  # never halts, never sends again
+
+        net = Network(ring(4), lambda v: Once())
+        metrics = net.run(max_rounds=100)
+        assert metrics.rounds == 1  # quiesced after the single delivery
+
+    def test_round_limit_raises(self):
+        class Forever(Protocol):
+            def on_start(self, ctx):
+                ctx.send(ctx.neighbors[0], "x")
+
+            def on_round(self, ctx, inbox):
+                ctx.send(ctx.neighbors[0], "x")
+
+        with pytest.raises(RoundLimitExceeded):
+            Network(ring(4), lambda v: Forever()).run(max_rounds=10)
+
+    def test_round_limit_soft(self):
+        class Forever(Protocol):
+            def on_start(self, ctx):
+                ctx.send(ctx.neighbors[0], "x")
+
+            def on_round(self, ctx, inbox):
+                ctx.send(ctx.neighbors[0], "x")
+
+        metrics = Network(ring(4), lambda v: Forever()).run(
+            max_rounds=10, raise_on_limit=False)
+        assert metrics.rounds == 10
+
+
+class TestMetrics:
+    def test_message_and_bit_totals(self):
+        class OneShot(Protocol):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(ctx.neighbors[0], "x", 1, 2)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        net = Network(ring(4), lambda v: OneShot())
+        metrics = net.run(max_rounds=4)
+        assert metrics.messages == 1
+        assert metrics.bits == payload_bits(("x", 1, 2), 4)
+        assert metrics.max_sent() == 1
+
+    def test_per_node_rng_deterministic(self):
+        draws = {}
+
+        class Draw(Protocol):
+            def on_start(self, ctx):
+                draws.setdefault(ctx.node_id, []).append(int(ctx.rng.integers(1000)))
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        Network(ring(4), lambda v: Draw(), seed=9).run(max_rounds=2)
+        first = dict(draws)
+        draws.clear()
+        Network(ring(4), lambda v: Draw(), seed=9).run(max_rounds=2)
+        assert draws == first
+        assert len(set(tuple(v) for v in first.values())) > 1  # nodes independent
+
+    def test_state_size_words(self):
+        assert state_size_words(5) == 1
+        assert state_size_words([1, 2, 3]) == 4
+        assert state_size_words({"a": 1}) == 3
+        assert state_size_words(np.zeros(10)) == 11

@@ -1,0 +1,96 @@
+"""Tests for the coupon-collector model of Theorem 2 (repro.analysis.coupon)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.coupon import (
+    closure_failure_bound,
+    coupon_failure_bound,
+    expected_coupon_steps,
+    simulate_relaxed_walk,
+    theorem2_budget,
+)
+
+
+class TestClosedForms:
+    def test_expected_steps_is_n_harmonic(self):
+        assert expected_coupon_steps(1) == pytest.approx(1.0)
+        assert expected_coupon_steps(2) == pytest.approx(2 * 1.5)
+        assert expected_coupon_steps(100) == pytest.approx(
+            100 * sum(1 / i for i in range(1, 101)))
+
+    def test_expected_steps_close_to_n_ln_n(self):
+        n = 5000
+        assert expected_coupon_steps(n) == pytest.approx(
+            n * math.log(n), rel=0.15)
+
+    def test_paper_4nlnn_bound(self):
+        # The proof: after 4 n ln n steps the union bound on missing a
+        # coupon is n * n^-4 = n^-3.
+        n = 500
+        bound = coupon_failure_bound(n, 4 * n * math.log(n))
+        assert bound == pytest.approx(n**-3.0, rel=0.01)
+
+    def test_paper_3nlnn_closure_bound(self):
+        n = 500
+        bound = closure_failure_bound(n, 3 * n * math.log(n))
+        assert bound == pytest.approx(n**-3.0, rel=0.01)
+
+    def test_bounds_clamped_to_probability(self):
+        assert coupon_failure_bound(100, 0.0) == 1.0
+        assert closure_failure_bound(100, 0.0) == 1.0
+        assert coupon_failure_bound(1, 10) == 0.0
+
+    def test_theorem2_budget_matches_7nlnn_at_alpha3(self):
+        n = 1000
+        assert theorem2_budget(n, alpha=3.0) == pytest.approx(
+            7 * n * math.log(n))
+
+    def test_budget_grows_with_alpha(self):
+        assert theorem2_budget(100, alpha=5) > theorem2_budget(100, alpha=2)
+
+
+class TestSimulation:
+    def test_simulation_usually_closes_within_budget(self):
+        n = 200
+        wins = sum(
+            simulate_relaxed_walk(n, rng=seed)[0] for seed in range(30))
+        # Failure prob is O(n^-3); 30/30 expected.
+        assert wins == 30
+
+    def test_steps_concentrate_near_expectation(self):
+        n = 300
+        rng = np.random.default_rng(7)
+        samples = [simulate_relaxed_walk(n, rng=rng)[1] for _ in range(25)]
+        mean = float(np.mean(samples))
+        # Collection ~ n H_n plus geometric closure ~ n.
+        predicted = expected_coupon_steps(n) + n
+        assert 0.5 * predicted < mean < 2.0 * predicted
+
+    def test_tiny_instance_fails(self):
+        closed, steps = simulate_relaxed_walk(2)
+        assert not closed
+        assert steps == 0
+
+    def test_tight_cap_can_fail(self):
+        closed, steps = simulate_relaxed_walk(500, rng=0, step_cap=100)
+        assert not closed
+        assert steps == 100
+
+    def test_deterministic_per_seed(self):
+        a = simulate_relaxed_walk(150, rng=9)
+        b = simulate_relaxed_walk(150, rng=9)
+        assert a == b
+
+    def test_measured_failure_rate_below_paper_bound(self):
+        # At the Theorem 2 budget the failure probability bound is
+        # coupon + closure = 2 n^-3; with 60 trials at n = 128 we must
+        # see zero failures (expected failures ~ 3e-5).
+        n = 128
+        cap = int(theorem2_budget(n))
+        failures = sum(
+            not simulate_relaxed_walk(n, rng=seed, step_cap=cap)[0]
+            for seed in range(60))
+        assert failures == 0

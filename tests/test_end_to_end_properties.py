@@ -1,0 +1,117 @@
+"""End-to-end property tests: whole-algorithm invariants under random
+inputs and random coins (hypothesis drives both).
+
+These complement the unit-level property files: rather than testing one
+mechanism, each property here runs a complete algorithm and asserts the
+library-wide contracts — verified-or-failed results, budget respect,
+engine determinism, conservation laws in the accounting.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import dra_step_budget
+from repro.baselines import run_levy, run_local_collect
+from repro.engines.fast import run_dra_fast
+from repro.engines.fast_dhc2 import run_dhc2_fast
+from repro.graphs import gnm_random_graph, gnp_random_graph
+from repro.kmachine import run_converted_hc
+from repro.verify import is_hamiltonian_cycle
+
+
+def _graph(n: int, c: float, seed: int):
+    p = min(1.0, c * math.log(n) / n)
+    return gnp_random_graph(n, p, seed=seed)
+
+
+class TestAlgorithmContracts:
+    @given(n=st.integers(24, 96), c=st.floats(2.0, 10.0), seed=st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_dra_success_iff_verified_cycle(self, n, c, seed):
+        result = run_dra_fast(_graph(n, c, seed), seed=seed)
+        if result.success:
+            assert result.cycle is not None
+            assert is_hamiltonian_cycle(_graph(n, c, seed), result.cycle)
+            assert result.steps >= n - 1  # at least one step per extension
+        else:
+            assert result.cycle is None
+
+    @given(n=st.integers(24, 96), seed=st.integers(0, 10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_dra_respects_step_budget(self, n, seed):
+        result = run_dra_fast(_graph(n, 8.0, seed), seed=seed)
+        assert result.steps <= dra_step_budget(n)
+
+    @given(n=st.integers(48, 128), seed=st.integers(0, 10**6),
+           k=st.integers(2, 4))
+    @settings(max_examples=12, deadline=None)
+    def test_dhc2_success_iff_verified_cycle(self, n, seed, k):
+        graph = _graph(n, 9.0, seed)
+        result = run_dhc2_fast(graph, k=k, seed=seed)
+        if result.success:
+            assert is_hamiltonian_cycle(graph, result.cycle)
+            assert result.cycle[0] == 0  # normalised start
+        else:
+            assert result.cycle is None
+
+    @given(n=st.integers(24, 80), seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_levy_contract(self, n, seed):
+        graph = gnp_random_graph(n, 0.5, seed=seed)
+        result = run_levy(graph, seed=seed)
+        if result.success:
+            assert is_hamiltonian_cycle(graph, result.cycle)
+        else:
+            assert result.cycle is None
+            assert result.rounds >= 0
+
+    @given(n=st.integers(24, 80), seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_local_collect_contract(self, n, seed):
+        graph = _graph(n, 6.0, seed)
+        result = run_local_collect(graph, seed=seed)
+        if result.success:
+            assert is_hamiltonian_cycle(graph, result.cycle)
+            assert result.bits > 0
+        # rounds = 3 ecc + 1 is odd-numbered and small.
+        if result.detail.get("eccentricity") is not None:
+            assert result.rounds == 3 * result.detail["eccentricity"] + 1
+
+
+class TestDeterminism:
+    @given(n=st.integers(24, 72), seed=st.integers(0, 10**6))
+    @settings(max_examples=10, deadline=None)
+    def test_fast_engine_is_a_pure_function_of_seed(self, n, seed):
+        graph = _graph(n, 8.0, seed)
+        a = run_dra_fast(graph, seed=seed)
+        b = run_dra_fast(graph, seed=seed)
+        assert a.success == b.success
+        assert a.cycle == b.cycle
+        assert a.rounds == b.rounds
+        assert a.steps == b.steps
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=8, deadline=None)
+    def test_gnm_edge_count_exact(self, seed):
+        graph = gnm_random_graph(60, 333, seed=seed)
+        assert graph.m == 333
+
+
+class TestKMachineConservation:
+    @given(seed=st.integers(0, 10**6), k=st.integers(2, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_word_conservation(self, seed, k):
+        """local + cross words together account for every message, and
+        the link matrix sums to the cross total."""
+        graph = _graph(48, 8.0, seed)
+        result, metrics = run_converted_hc(
+            graph, algorithm="dra", k_machines=k, seed=seed)
+        assert metrics.cross_words == int(metrics.link_words.sum())
+        assert metrics.cross_words == int(metrics.recv_words_per_machine.sum())
+        total_words = metrics.cross_words + metrics.local_words
+        # Every protocol message carries >= 1 word (its kind tag), so
+        # the word total is at least the message count.
+        assert total_words >= result.messages
+        assert metrics.congest_rounds == result.rounds

@@ -1,0 +1,109 @@
+"""Tests for structural property analysis (diameter, connectivity, BFS)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    connected_components,
+    degree_statistics,
+    diameter,
+    diameter_lower_bound,
+    eccentricity,
+    expected_diameter_sparse,
+    giant_component,
+    gnp_random_graph,
+    is_connected,
+)
+
+from tests.conftest import complete, path_graph, ring
+
+
+class TestBfs:
+    def test_distances_on_path(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0).tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self):
+        g = Graph(4, [(0, 1)])
+        dist = bfs_distances(g, 0)
+        assert dist[1] == 1 and dist[2] == -1 and dist[3] == -1
+
+    def test_invalid_source(self):
+        with pytest.raises(ValueError):
+            bfs_distances(Graph(3), 5)
+
+
+class TestConnectivity:
+    def test_connected_ring(self):
+        assert is_connected(ring(10))
+
+    def test_disconnected(self):
+        assert not is_connected(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_empty_graph_connected(self):
+        assert is_connected(Graph(0))
+
+    def test_components(self):
+        comps = connected_components(Graph(5, [(0, 1), (2, 3)]))
+        assert sorted(map(tuple, comps)) == [(0, 1), (2, 3), (4,)]
+
+    def test_giant_component(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        sub, mapping = giant_component(g)
+        assert sub.n == 3 and set(mapping) == {0, 1, 2}
+
+
+class TestDiameter:
+    def test_ring_diameter(self):
+        assert diameter(ring(10)) == 5
+        assert diameter(ring(11)) == 5
+
+    def test_complete_diameter(self):
+        assert diameter(complete(6)) == 1
+
+    def test_path_diameter(self):
+        assert diameter(path_graph(7)) == 6
+
+    def test_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            diameter(Graph(3, [(0, 1)]))
+
+    def test_exact_limit_guard(self):
+        with pytest.raises(ValueError, match="exact_limit"):
+            diameter(ring(100), exact_limit=10)
+
+    def test_lower_bound_sandwiches(self):
+        g = gnp_random_graph(150, 0.08, seed=1)
+        exact = diameter(g)
+        lb = diameter_lower_bound(g, sweeps=6)
+        assert lb <= exact
+        assert lb >= exact - 1  # double sweep is near-sharp on these graphs
+
+    def test_eccentricity(self):
+        assert eccentricity(path_graph(5), 0) == 4
+        assert eccentricity(path_graph(5), 2) == 2
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        g = gnp_random_graph(120, 0.1, seed=7)
+        ng = networkx.Graph(list(g.edges()))
+        ng.add_nodes_from(range(g.n))
+        assert diameter(g) == networkx.diameter(ng)
+
+
+class TestDegreeStats:
+    def test_ring_stats(self):
+        stats = degree_statistics(ring(12))
+        assert stats == {"min": 2.0, "max": 2.0, "mean": 2.0, "std": 0.0}
+
+    def test_empty(self):
+        assert degree_statistics(Graph(0))["mean"] == 0.0
+
+    def test_expected_diameter_scale(self):
+        assert expected_diameter_sparse(10_000) == pytest.approx(
+            math.log(10_000) / math.log(math.log(10_000))
+        )

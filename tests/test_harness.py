@@ -1,0 +1,261 @@
+"""Tests for the experiment harness (repro.harness)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines.results import RunResult
+from repro.harness import (
+    ParameterGrid,
+    Trial,
+    TrialRunner,
+    TrialStore,
+    group_by,
+    quantile,
+    success_rate,
+    summarize,
+)
+
+
+class TestParameterGrid:
+    def test_cartesian_product_order(self):
+        grid = ParameterGrid(n=[64, 128], delta=[0.5, 0.8])
+        assert grid.points() == [
+            {"n": 64, "delta": 0.5}, {"n": 64, "delta": 0.8},
+            {"n": 128, "delta": 0.5}, {"n": 128, "delta": 0.8},
+        ]
+        assert len(grid) == 4
+
+    def test_single_axis(self):
+        grid = ParameterGrid(c=[2, 4, 8])
+        assert [p["c"] for p in grid] == [2, 4, 8]
+
+    def test_subset_filters(self):
+        grid = ParameterGrid(n=[64, 256, 1024], delta=[0.5, 0.8])
+        feasible = grid.subset(lambda p: p["n"] ** p["delta"] >= 20)
+        assert {"n": 64, "delta": 0.5} not in feasible  # 64^0.5 = 8 < 20
+        assert {"n": 1024, "delta": 0.5} in feasible
+
+    def test_with_overrides(self):
+        grid = ParameterGrid(n=[64, 128])
+        pinned = grid.with_overrides(c=6.0)
+        assert all(p["c"] == 6.0 for p in pinned)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ParameterGrid()
+        with pytest.raises(ValueError):
+            ParameterGrid(n=[])
+
+    @given(sizes=st.lists(st.integers(1, 5), min_size=1, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_length_is_product(self, sizes):
+        axes = {f"a{i}": list(range(s)) for i, s in enumerate(sizes)}
+        grid = ParameterGrid(**axes)
+        expected = 1
+        for s in sizes:
+            expected *= s
+        assert len(grid) == expected == len(grid.points())
+
+
+class TestTrialRunner:
+    def test_runs_every_point_and_trial(self):
+        calls = []
+
+        def fn(point, seed):
+            calls.append((point["x"], seed))
+            return {"success": True, "rounds": point["x"] * 10}
+
+        runner = TrialRunner(fn, master_seed=1)
+        trials = runner.run(ParameterGrid(x=[1, 2]), trials=3)
+        assert len(trials) == 6
+        assert len(calls) == 6
+        assert all(t.success for t in trials)
+        assert trials[0].metrics["rounds"] == 10.0
+
+    def test_seed_derivation_is_stable_and_distinct(self):
+        runner = TrialRunner(lambda p, s: {"success": True}, master_seed=7)
+        seeds = {runner.derive_seed(i, j) for i in range(10) for j in range(10)}
+        assert len(seeds) == 100  # no collisions in a small grid
+        assert runner.derive_seed(3, 4) == TrialRunner(
+            lambda p, s: {"success": True}, master_seed=7).derive_seed(3, 4)
+
+    def test_different_master_seed_changes_streams(self):
+        a = TrialRunner(lambda p, s: {"success": True}, master_seed=1)
+        b = TrialRunner(lambda p, s: {"success": True}, master_seed=2)
+        assert a.derive_seed(0, 0) != b.derive_seed(0, 0)
+
+    def test_accepts_run_result(self):
+        def fn(point, seed):
+            return RunResult("dra", True, [0, 1, 2], rounds=42, messages=7)
+
+        trials = TrialRunner(fn).run([{"n": 3}], trials=1)
+        assert trials[0].metrics["rounds"] == 42.0
+        assert trials[0].metrics["messages"] == 7.0
+
+    def test_rejects_bad_return(self):
+        with pytest.raises(TypeError):
+            TrialRunner(lambda p, s: 42).run([{"n": 1}])
+        with pytest.raises(ValueError, match="success"):
+            TrialRunner(lambda p, s: {"rounds": 1}).run([{"n": 1}])
+
+    def test_progress_callback(self):
+        seen = []
+        TrialRunner(lambda p, s: {"success": True}).run(
+            [{"x": 1}], trials=2, progress=seen.append)
+        assert len(seen) == 2
+        assert all(isinstance(t, Trial) for t in seen)
+
+
+class TestTrialStore:
+    def test_roundtrip(self, tmp_path):
+        store = TrialStore(tmp_path / "t.jsonl")
+        trial = Trial(point={"n": 8, "delta": 0.5}, trial_index=2, seed=99,
+                      success=True, metrics={"rounds": 12.0}, elapsed_s=0.5)
+        store.append(trial)
+        loaded = store.load()
+        assert len(loaded) == 1
+        assert loaded[0].point == {"n": 8, "delta": 0.5}
+        assert loaded[0].metrics["rounds"] == 12.0
+        assert loaded[0].key() == trial.key()
+
+    def test_resume_skips_recorded_trials(self, tmp_path):
+        store = TrialStore(tmp_path / "t.jsonl")
+        calls = []
+
+        def fn(point, seed):
+            calls.append(point["x"])
+            return {"success": True, "rounds": 1}
+
+        runner = TrialRunner(fn, master_seed=3, store=store)
+        grid = ParameterGrid(x=[1, 2])
+        first = runner.run(grid, trials=2)
+        assert len(calls) == 4
+        second = runner.run(grid, trials=2)
+        assert len(calls) == 4  # nothing re-ran
+        assert [t.key() for t in second] == [t.key() for t in first]
+
+    def test_resume_runs_only_new_trials(self, tmp_path):
+        store = TrialStore(tmp_path / "t.jsonl")
+        calls = []
+
+        def fn(point, seed):
+            calls.append(1)
+            return {"success": True}
+
+        runner = TrialRunner(fn, master_seed=3, store=store)
+        runner.run([{"x": 1}], trials=1)
+        runner.run([{"x": 1}], trials=3)  # 2 new trial indices
+        assert len(calls) == 3
+        assert len(store) == 3
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        store = TrialStore(path)
+        store.append(Trial(point={"x": 1}, trial_index=0, seed=1, success=True))
+        with path.open("a") as fh:
+            fh.write('{"point": {"x": 2}, "trial_in')  # crash mid-append
+        assert len(store.load()) == 1
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        store = TrialStore(path)
+        with path.open("w") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps(Trial(
+                point={"x": 1}, trial_index=0, seed=1,
+                success=True).to_json()) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            store.load()
+
+    def test_clear(self, tmp_path):
+        store = TrialStore(tmp_path / "t.jsonl")
+        store.append(Trial(point={}, trial_index=0, seed=0, success=False))
+        store.clear()
+        assert store.load() == []
+        store.clear()  # idempotent
+
+
+class TestAggregation:
+    def _trials(self):
+        return [
+            Trial(point={"n": 64}, trial_index=i, seed=i,
+                  success=i != 3, metrics={"rounds": float(100 + i)})
+            for i in range(5)
+        ] + [
+            Trial(point={"n": 128}, trial_index=i, seed=i,
+                  success=True, metrics={"rounds": float(200 + i)})
+            for i in range(5)
+        ]
+
+    def test_success_rate(self):
+        assert success_rate(self._trials()) == pytest.approx(0.9)
+        assert success_rate([]) == 0.0
+
+    def test_summarize_successes_only(self):
+        stats = summarize(self._trials(), "rounds")
+        # Failed trial 3 of n=64 excluded: values are 100,101,102,104,200..204
+        assert stats["n_values"] == 9
+        assert stats["min"] == 100.0
+        assert stats["max"] == 204.0
+        assert stats["success_rate"] == pytest.approx(0.9)
+
+    def test_summarize_all_trials(self):
+        stats = summarize(self._trials(), "rounds", successes_only=False)
+        assert stats["n_values"] == 10
+
+    def test_summarize_empty_metric(self):
+        stats = summarize(self._trials(), "nonexistent")
+        assert "mean" not in stats
+        assert stats["n_values"] == 0
+
+    def test_group_by_parameter(self):
+        groups = group_by(self._trials(), "n")
+        assert list(groups) == [64, 128]
+        assert len(groups[64]) == 5
+
+    def test_group_by_callable(self):
+        groups = group_by(self._trials(), lambda t: t.success)
+        assert len(groups[True]) == 9
+        assert len(groups[False]) == 1
+
+    def test_quantile(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+        assert quantile([5.0], 0.0) == 5.0
+        assert quantile([1.0, 3.0], 0.25) == 1.5
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    @given(values=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30),
+           q=st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_quantile_within_range(self, values, q):
+        result = quantile(values, q)
+        assert min(values) <= result <= max(values)
+
+
+class TestEndToEndSweep:
+    def test_harness_drives_a_real_algorithm(self, tmp_path):
+        """A miniature E6-style sweep through the public harness API."""
+        from repro.engines.fast import run_dra_fast
+        from repro.graphs import gnp_random_graph, paper_probability
+
+        def trial(point, seed):
+            p = paper_probability(point["n"], 1.0, point["c"])
+            graph = gnp_random_graph(point["n"], p, seed=seed)
+            return run_dra_fast(graph, seed=seed)
+
+        grid = ParameterGrid(n=[64], c=[2.0, 8.0])
+        store = TrialStore(tmp_path / "sweep.jsonl")
+        trials = TrialRunner(trial, master_seed=5, store=store).run(
+            grid, trials=4)
+        by_c = group_by(trials, "c")
+        # Denser graphs must not succeed less often.
+        assert success_rate(by_c[8.0]) >= success_rate(by_c[2.0])
+        assert success_rate(by_c[8.0]) >= 0.75
+        # And everything was persisted.
+        assert len(store) == 8

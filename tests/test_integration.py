@@ -1,0 +1,94 @@
+"""Cross-algorithm integration tests: all four algorithms, one graph."""
+
+import math
+
+import pytest
+
+from repro import find_hamiltonian_cycle
+from repro.cli import main as cli_main
+from repro.graphs import gnp_random_graph
+from repro.verify import is_hamiltonian_cycle
+
+
+@pytest.fixture(scope="module")
+def shared_graph():
+    """A graph dense enough for every algorithm's regime."""
+    n = 120
+    p = min(1.0, 2.2 * math.log(n) / math.sqrt(n))
+    return gnp_random_graph(n, p, seed=17)
+
+
+class TestAllAlgorithmsOneGraph:
+    @pytest.mark.parametrize("algorithm,kwargs", [
+        ("dra", {}),
+        ("dhc1", {"k": 4}),
+        ("dhc2", {"k": 4}),
+        ("upcast", {}),
+        ("trivial", {}),
+    ])
+    def test_every_algorithm_solves_it(self, shared_graph, algorithm, kwargs):
+        res = find_hamiltonian_cycle(shared_graph, algorithm=algorithm,
+                                     seed=23, **kwargs)
+        assert res.success, f"{algorithm} failed: {res.detail}"
+        assert is_hamiltonian_cycle(shared_graph, res.cycle)
+
+    def test_unknown_algorithm_rejected(self, shared_graph):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            find_hamiltonian_cycle(shared_graph, algorithm="magic")
+
+    def test_round_ordering_matches_paper(self, shared_graph):
+        """The trivial O(m) baseline must cost the most rounds; the
+        sampled Upcast must beat it (Section III's motivation)."""
+        upcast = find_hamiltonian_cycle(shared_graph, algorithm="upcast", seed=23)
+        trivial = find_hamiltonian_cycle(shared_graph, algorithm="trivial", seed=23)
+        assert upcast.success and trivial.success
+        assert upcast.rounds < trivial.rounds
+
+    def test_message_size_all_logarithmic(self, shared_graph):
+        """CONGEST: average bits per message stays O(log n)."""
+        for algorithm in ("dra", "dhc2", "upcast"):
+            res = find_hamiltonian_cycle(shared_graph, algorithm=algorithm,
+                                         seed=23, **({"k": 4} if algorithm == "dhc2" else {}))
+            assert res.success
+            avg_bits = res.bits / max(1, res.messages)
+            assert avg_bits <= 8 + 12 * math.ceil(math.log2(shared_graph.n + 1))
+
+
+class TestCli:
+    def test_cli_dhc2_json(self, capsys):
+        code = cli_main(["--algorithm", "dhc2", "--nodes", "96", "--delta", "0.5",
+                         "--c", "3", "--k", "3", "--seed", "2", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert '"success": true' in out
+
+    def test_cli_human_output(self, capsys):
+        code = cli_main(["--algorithm", "dra", "--nodes", "64", "--delta", "1.0",
+                         "--c", "8", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cycle:" in out
+
+    def test_cli_failure_exit_code(self, capsys):
+        # Far below threshold: everything fails.
+        code = cli_main(["--algorithm", "dra", "--nodes", "64", "--delta", "1.0",
+                         "--c", "0.3", "--seed", "1"])
+        assert code == 1
+
+
+class TestSuccessProbabilityShape:
+    """E6's mechanism, asserted coarsely: denser -> more reliable."""
+
+    def test_success_improves_with_c(self):
+        from repro.engines.fast import run_dra_fast
+
+        def rate(c, trials=6):
+            wins = 0
+            for s in range(trials):
+                n = 200
+                g = gnp_random_graph(n, min(1.0, c * math.log(n) / n), seed=40 + s)
+                wins += run_dra_fast(g, seed=60 + s).success
+            return wins
+
+        assert rate(10) >= rate(2)
+        assert rate(10) >= 5  # dense regime is near-certain

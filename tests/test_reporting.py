@@ -1,0 +1,131 @@
+"""Tests for the reporting subpackage (tables, charts, records)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reporting import (
+    ExperimentRecord,
+    Verdict,
+    loglog_chart,
+    render_table,
+    series_chart,
+)
+from repro.reporting.table import format_cell
+
+
+class TestFormatCell:
+    def test_integral_float_drops_decimals(self):
+        assert format_cell(42.0) == "42"
+
+    def test_precision_applied(self):
+        assert format_cell(3.14159, precision=3) == "3.14"
+
+    def test_bool_stays_bool(self):
+        assert format_cell(True) == "True"
+
+    def test_strings_pass_through(self):
+        assert format_cell("dhc2") == "dhc2"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["n", "rounds"], [[64, 112], [4096, 23057]])
+        lines = out.splitlines()
+        assert lines[0].startswith("n")
+        assert lines[1].startswith("---")
+        # Columns align: 'rounds' starts at the same index everywhere.
+        col = lines[0].index("rounds")
+        assert lines[2][col:].strip() == "112"
+        assert lines[3][col:].strip() == "23057"
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="E1")
+        assert out.splitlines()[0] == "E1"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 10**6), st.floats(0.1, 1e6)),
+            min_size=1, max_size=8),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_every_row_renders(self, rows):
+        out = render_table(["x", "y"], rows)
+        assert len(out.splitlines()) == 2 + len(rows)
+
+
+class TestCharts:
+    def test_loglog_renders_marks_and_legend(self):
+        out = loglog_chart(
+            [64, 128, 256], {"dhc1": [100, 160, 250], "upcast": [80, 120, 190]})
+        assert "o=dhc1" in out
+        assert "x=upcast" in out
+        assert "o" in out.split("legend")[0]
+
+    def test_loglog_rejects_empty(self):
+        with pytest.raises(ValueError):
+            loglog_chart([1], {})
+
+    def test_loglog_rejects_mismatched_series(self):
+        with pytest.raises(ValueError, match="one value per x"):
+            loglog_chart([1, 2], {"a": [1]})
+
+    def test_loglog_skips_nonpositive(self):
+        out = loglog_chart([1, 10], {"a": [0, 100]})  # the 0 is dropped
+        assert "a" in out
+
+    def test_loglog_all_nonpositive_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            loglog_chart([1], {"a": [0]})
+
+    def test_series_chart_linear(self):
+        out = series_chart([0, 1, 2], {"rate": [0.0, 0.5, 1.0]})
+        assert "legend" in out
+        assert "rate" in out
+
+
+class TestExperimentRecord:
+    def _record(self, **overrides):
+        base = dict(
+            experiment_id="E2",
+            claim="Theorem 1: DHC1 rounds scale as sqrt(n) polylog",
+            predicted="slope 0.5",
+            measured="slope 0.54",
+            verdict=Verdict.REPRODUCED,
+            series={"n": [64, 256], "rounds": [112, 430]},
+            notes="c=6, 5 trials",
+        )
+        base.update(overrides)
+        return ExperimentRecord(**base)
+
+    def test_render_contains_all_fields(self):
+        text = self._record().render()
+        assert "[E2]" in text
+        assert "slope 0.5" in text
+        assert "slope 0.54" in text
+        assert "reproduced" in text
+        assert "c=6" in text
+        assert "rounds" in text
+
+    def test_markdown_has_table(self):
+        md = self._record().to_markdown()
+        assert md.startswith("### E2")
+        assert "| n | rounds |" in md
+        assert "| 64 | 112 |" in md
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            self._record(series={"n": [1, 2], "rounds": [3]})
+
+    def test_no_series_is_fine(self):
+        record = self._record(series={})
+        assert record.data_rows() == []
+        assert "verdict" in record.render()
+
+    def test_verdict_strings(self):
+        assert str(Verdict.REPRODUCED) == "reproduced"
+        assert str(Verdict.DEVIATION) == "deviation (documented)"

@@ -1,0 +1,99 @@
+"""Tests for Hamiltonian-cycle verification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+from repro.verify import (
+    CycleViolation,
+    cycle_from_successors,
+    is_hamiltonian_cycle,
+    is_hamiltonian_path,
+    verify_cycle,
+)
+
+from tests.conftest import complete, path_graph, ring
+
+
+class TestVerifyCycle:
+    def test_valid_ring(self):
+        verify_cycle(ring(6), [0, 1, 2, 3, 4, 5])
+
+    def test_any_rotation_valid(self):
+        verify_cycle(ring(6), [3, 4, 5, 0, 1, 2])
+
+    def test_reverse_valid(self):
+        verify_cycle(ring(6), [0, 5, 4, 3, 2, 1])
+
+    def test_wrong_length(self):
+        with pytest.raises(CycleViolation, match="visits"):
+            verify_cycle(ring(6), [0, 1, 2])
+
+    def test_repeat_node(self):
+        with pytest.raises(CycleViolation, match="twice"):
+            verify_cycle(ring(4), [0, 1, 2, 1])
+
+    def test_non_edge(self):
+        with pytest.raises(CycleViolation, match="not an edge"):
+            verify_cycle(ring(6), [0, 2, 1, 3, 4, 5])
+
+    def test_missing_closing_edge(self):
+        g = path_graph(4)
+        with pytest.raises(CycleViolation):
+            verify_cycle(g, [0, 1, 2, 3])
+
+    def test_too_small_graph(self):
+        with pytest.raises(CycleViolation, match="< 3"):
+            verify_cycle(Graph(2, [(0, 1)]), [0, 1])
+
+    def test_out_of_range_node(self):
+        with pytest.raises(CycleViolation):
+            verify_cycle(ring(4), [0, 1, 2, 9])
+
+
+class TestHamiltonianPath:
+    def test_path(self):
+        assert is_hamiltonian_path(path_graph(5), [0, 1, 2, 3, 4])
+
+    def test_not_path(self):
+        assert not is_hamiltonian_path(path_graph(5), [0, 2, 1, 3, 4])
+
+    def test_wrong_length(self):
+        assert not is_hamiltonian_path(path_graph(5), [0, 1, 2])
+
+
+class TestSuccessorMaps:
+    def test_roundtrip(self):
+        succ = {0: 1, 1: 2, 2: 3, 3: 0}
+        assert cycle_from_successors(succ) == [0, 1, 2, 3]
+
+    def test_two_cycles_detected(self):
+        succ = {0: 1, 1: 0, 2: 3, 3: 2}
+        with pytest.raises(CycleViolation, match="multiple cycles"):
+            cycle_from_successors(succ)
+
+    def test_missing_entry(self):
+        with pytest.raises(CycleViolation):
+            cycle_from_successors({0: 1, 1: 2})
+
+    def test_bad_start(self):
+        with pytest.raises(CycleViolation):
+            cycle_from_successors({1: 2, 2: 1}, start=0)
+
+
+@given(st.permutations(list(range(8))))
+@settings(max_examples=40, deadline=None)
+def test_every_permutation_cycles_on_complete_graph(perm):
+    """On K_n every permutation order is a valid Hamiltonian cycle."""
+    g = complete(8)
+    assert is_hamiltonian_cycle(g, list(perm))
+
+
+@given(st.permutations(list(range(7))))
+@settings(max_examples=40, deadline=None)
+def test_successor_roundtrip_is_rotation_invariant(perm):
+    order = list(perm)
+    succ = {order[i]: order[(i + 1) % 7] for i in range(7)}
+    rebuilt = cycle_from_successors(succ, start=order[0])
+    assert rebuilt == order
