@@ -10,7 +10,8 @@ still merges successfully, i.e. the rule affects determinism only.
 
 import math
 
-from repro.engines.fast_dhc2 import _merge_pair, run_dhc2_fast
+import repro
+from repro.engines.fast_dhc2 import _merge_pair
 from repro.graphs import gnp_random_graph, paper_probability
 
 from benchmarks.conftest import show
@@ -37,11 +38,10 @@ def test_a1_bridge_selection_ablation(benchmark):
     n, delta, c = 512, 0.5, 8.0
     p = paper_probability(n, delta, c)
     g = gnp_random_graph(n, p, seed=41)
-    res = run_dhc2_fast(g, delta=delta, seed=42)
+    res = repro.run(g, "dhc2", engine="fast", delta=delta, seed=42)
     assert res.success
 
     # Re-derive the level-1 cycles to count available bridges per pair.
-    from repro.engines.fast_dhc2 import run_dhc2_fast as _  # noqa: F401
     import numpy as np
     from repro.analysis.bounds import dra_step_budget
     from repro.engines.fast import _FastWalk, build_min_id_bfs_tree

@@ -13,10 +13,9 @@ work down to the Hamiltonicity threshold.  Two shape checks:
    the measured ordering at the largest common size.
 """
 
+import repro
 from repro.baselines import run_levy
 from repro.baselines.levy import levy_density_requirement
-from repro.engines.fast import run_dra_fast
-from repro.engines.fast_dhc2 import run_dhc2_fast
 from repro.graphs import gnp_random_graph, paper_probability
 
 from benchmarks.conftest import show
@@ -35,7 +34,7 @@ def _density_floor_rows():
         graph = gnp_random_graph(THRESHOLD_N, p, seed=seed)
         if run_levy(graph, seed=seed).success:
             levy_wins += 1
-        if run_dhc2_fast(graph, delta=1.0, seed=seed).success:
+        if repro.run(graph, "dhc2", engine="fast", delta=1.0, seed=seed).success:
             dhc2_wins += 1
     return p, levy_wins, dhc2_wins
 
@@ -46,9 +45,9 @@ def _dense_regime_rows():
         p = min(0.9, 4.0 * levy_density_requirement(n))
         graph = gnp_random_graph(n, p, seed=7)
         levy = run_levy(graph, seed=7)
-        dhc = run_dhc2_fast(graph, delta=0.5, seed=7)
+        dhc = repro.run(graph, "dhc2", engine="fast", delta=0.5, seed=7)
         if not dhc.success:
-            dhc = run_dhc2_fast(graph, delta=0.5, seed=8)
+            dhc = repro.run(graph, "dhc2", engine="fast", delta=0.5, seed=8)
         rows.append((n, f"{p:.3f}",
                      levy.rounds if levy.success else -1,
                      dhc.rounds if dhc.success else -1))

@@ -7,7 +7,7 @@ ratio steps / (n ln n) stays bounded as n grows.
 
 import math
 
-from repro.engines.fast import run_dra_fast
+import repro
 from repro.graphs import gnp_random_graph
 
 from benchmarks.conftest import show
@@ -19,7 +19,7 @@ C = 8.0
 def _run(n: int, seed: int):
     p = min(1.0, C * math.log(n) / n)
     g = gnp_random_graph(n, p, seed=seed)
-    return run_dra_fast(g, seed=seed + 100)
+    return repro.run(g, "dra", engine="fast", seed=seed + 100)
 
 
 def test_e01_dra_steps(benchmark):

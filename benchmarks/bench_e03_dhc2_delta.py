@@ -9,7 +9,7 @@ more rounds, and the ordering across deltas at fixed n must match.
 
 import math
 
-from repro.engines.fast_dhc2 import run_dhc2_fast
+import repro
 from repro.graphs import gnp_random_graph, paper_probability
 
 from benchmarks.conftest import fitted_exponent, show
@@ -32,7 +32,7 @@ def _run(n: int, delta: float):
     p = paper_probability(n, delta, C)
     for attempt in range(MAX_TRIES):
         g = gnp_random_graph(n, p, seed=2000 + n + attempt)
-        res = run_dhc2_fast(g, delta=delta, seed=n + attempt)
+        res = repro.run(g, "dhc2", engine="fast", delta=delta, seed=n + attempt)
         if res.success:
             return res
     return res

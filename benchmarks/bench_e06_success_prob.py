@@ -9,7 +9,7 @@ content of "with high probability".
 
 import math
 
-from repro.engines.fast import run_dra_fast
+import repro
 from repro.graphs import gnp_random_graph
 
 from benchmarks.conftest import show
@@ -22,7 +22,7 @@ def _rate(n: int, c: float, trials: int = TRIALS) -> float:
     for s in range(trials):
         p = min(1.0, c * math.log(n) / n)
         g = gnp_random_graph(n, p, seed=5000 + 97 * s + n)
-        wins += run_dra_fast(g, seed=6000 + s).success
+        wins += repro.run(g, "dra", engine="fast", seed=6000 + s).success
     return wins / trials
 
 

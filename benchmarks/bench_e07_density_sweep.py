@@ -5,7 +5,7 @@ Sweeps delta at fixed n = 1024 (so p spans an order of magnitude) and
 checks that measured rounds decrease as the graph gets denser.
 """
 
-from repro.engines.fast_dhc2 import run_dhc2_fast
+import repro
 from repro.graphs import gnp_random_graph, paper_probability
 
 from benchmarks.conftest import show
@@ -20,7 +20,7 @@ def _run(delta: float):
     p = paper_probability(N, delta, C)
     for attempt in range(MAX_TRIES):
         g = gnp_random_graph(N, p, seed=7000 + attempt + int(delta * 100))
-        res = run_dhc2_fast(g, delta=delta, seed=7100 + attempt)
+        res = repro.run(g, "dhc2", engine="fast", delta=delta, seed=7100 + attempt)
         if res.success:
             return p, res
     return p, res

@@ -8,7 +8,7 @@ count, which carries the coupon-collector tail that gives Theorem 2 its
 
 import math
 
-from repro.engines.fast import run_dra_fast
+import repro
 from repro.graphs import gnp_random_graph
 
 from benchmarks.conftest import show
@@ -20,7 +20,7 @@ C = 8.0
 def _run(n, seed):
     p = min(1.0, C * math.log(n) / n)
     g = gnp_random_graph(n, p, seed=seed)
-    return run_dra_fast(g, seed=seed + 9)
+    return repro.run(g, "dra", engine="fast", seed=seed + 9)
 
 
 def test_e10_rotation_dynamics(benchmark):

@@ -9,7 +9,7 @@ graphs matched to the G(n,p) density and require (a) comparable success
 and (b) round counts within a small factor of the G(n,p) reference.
 """
 
-from repro.engines.fast_dhc2 import run_dhc2_fast
+import repro
 from repro.graphs import (
     gnm_random_graph,
     gnp_random_graph,
@@ -45,7 +45,8 @@ def _matched_graphs(seed: int):
 
 def _run_with_retries(graph, seed: int):
     for attempt in range(ATTEMPTS):
-        res = run_dhc2_fast(graph, delta=DELTA, seed=1000 * attempt + seed)
+        res = repro.run(graph, "dhc2", engine="fast", delta=DELTA,
+                        seed=1000 * attempt + seed)
         if res.success:
             return res
     return res

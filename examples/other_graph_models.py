@@ -19,7 +19,7 @@ Run:  python examples/other_graph_models.py
 
 import numpy as np
 
-from repro.engines.fast_dhc2 import run_dhc2_fast
+import repro
 from repro.graphs import (
     chung_lu_graph,
     gnm_random_graph,
@@ -57,7 +57,8 @@ def main() -> None:
     for name, graph in graphs.items():
         wins, rounds = 0, []
         for seed in range(5):
-            result = run_dhc2_fast(graph, delta=delta, seed=seed)
+            result = repro.run(graph, "dhc2", engine="fast", delta=delta,
+                               seed=seed)
             if result.success:
                 wins += 1
                 rounds.append(result.rounds)

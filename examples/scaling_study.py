@@ -8,8 +8,8 @@ exponent, printing the comparison against the paper's O~(n^delta).
 Run:  python examples/scaling_study.py
 """
 
+import repro
 from repro.analysis import fit_power_law
-from repro.engines.fast_dhc2 import run_dhc2_fast
 from repro.graphs import gnp_random_graph, paper_probability
 
 
@@ -20,7 +20,8 @@ def sweep(delta: float, sizes: list[int], c: float = 8.0) -> None:
         p = paper_probability(n, delta, c)
         for attempt in range(4):
             g = gnp_random_graph(n, p, seed=n + attempt)
-            res = run_dhc2_fast(g, delta=delta, seed=n + attempt + 1)
+            res = repro.run(g, "dhc2", engine="fast", delta=delta,
+                            seed=n + attempt + 1)
             if res.success:
                 break
         print(f"  n={n:>5}  K={res.detail['k']:>3}  rounds={res.rounds:>7}  "

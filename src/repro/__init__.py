@@ -9,12 +9,16 @@ theorem of the paper empirically.
 
 Quickstart
 ----------
->>> from repro import gnp_random_graph, paper_probability, run_dhc2
+>>> import repro
 >>> n = 256
->>> g = gnp_random_graph(n, paper_probability(n, delta=0.5, c=4.0), seed=1)
->>> result = run_dhc2(g, delta=0.5, seed=1)
+>>> g = repro.gnp_random_graph(n, repro.paper_probability(n, delta=0.5, c=4.0), seed=1)
+>>> result = repro.run(g, "dhc2", engine="auto", delta=0.5, seed=1)
 >>> result.success
 True
+
+:func:`repro.run` dispatches through the ``(algorithm, engine)``
+registry (:data:`repro.engines.registry.REGISTRY`); the per-algorithm
+front ends (``run_dhc2`` & co.) remain available for direct use.
 """
 
 from repro.graphs import (
@@ -47,6 +51,10 @@ __all__ = [
     "run_local_collect",
     "find_hamiltonian_cycle",
     "RunResult",
+    "run",
+    "REGISTRY",
+    "EngineRegistry",
+    "EngineSpec",
     "__version__",
 ]
 
@@ -62,6 +70,8 @@ _CORE_EXPORTS = {
 
 _BASELINE_EXPORTS = {"run_levy", "run_local_collect"}
 
+_ENGINE_EXPORTS = {"run", "REGISTRY", "EngineRegistry", "EngineSpec"}
+
 
 def __getattr__(name):  # lazy: repro.core pulls in every substrate
     if name in _CORE_EXPORTS:
@@ -72,4 +82,8 @@ def __getattr__(name):  # lazy: repro.core pulls in every substrate
         import repro.baselines as _baselines
 
         return getattr(_baselines, name)
+    if name in _ENGINE_EXPORTS:
+        import repro.engines as _engines
+
+        return getattr(_engines, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,31 +1,48 @@
-"""Command-line front end: ``repro-hc``.
+"""Command-line front end: ``repro`` (historical alias ``repro-hc``).
 
 Subcommands
 -----------
 ``run``
-    One algorithm on one random graph, e.g.::
+    One algorithm on one random graph, dispatched through the engine
+    registry, e.g.::
 
-        repro-hc run --algorithm dhc2 --nodes 256 --delta 0.5 --c 6 --seed 1
-        repro-hc run --algorithm dhc2 --nodes 256 --k-machines 8
-        repro-hc run --algorithm levy --nodes 256 --delta 0.25 --json
+        repro run --algorithm dhc2 --nodes 256 --delta 0.5 --c 6 --seed 1
+        repro run --algorithm dhc2 --engine congest --nodes 256
+        repro run --algorithm dhc2 --nodes 256 --k-machines 8
+        repro run --algorithm levy --nodes 256 --delta 0.25 --json
 
 ``sweep``
-    Scaling study: run an algorithm over a node-count grid, print the
-    rounds table and the fitted power-law exponent::
+    Scaling study: run an algorithm over a node-count grid (optionally
+    across worker processes), print the rounds table and the fitted
+    power-law exponent::
 
-        repro-hc sweep --algorithm dhc1 --sizes 64,128,256,512 --trials 3
+        repro sweep --algorithm dhc1 --sizes 64,128,256,512 --trials 3
+        repro sweep --algorithm dhc2 --sizes 256,512,1024 --jobs 4 \\
+            --store sweep.jsonl
+
+``engines``
+    List every registered ``(algorithm, engine)`` pair with its
+    capabilities.
 
 ``graph``
     Generate a graph and report its structure (degrees, connectivity,
     diameter, the paper's thresholds)::
 
-        repro-hc graph --nodes 512 --delta 0.5 --c 4
+        repro graph --nodes 512 --delta 0.5 --c 4
 
 ``bounds``
     Print the paper's predicted bounds for given parameters (round
     budgets, failure probabilities).
 
 Invoked with legacy flags only (no subcommand), ``run`` is assumed.
+
+All algorithm execution goes through :func:`repro.run` /
+:data:`repro.engines.registry.REGISTRY`; this module contains no
+per-algorithm dispatch of its own.  ``--engine auto`` (the default)
+picks the fastest engine that supports the request — e.g. plain runs
+use the step-level fast engine where one is registered, while
+``--audit-memory`` steers the run onto the message-level congest
+simulator, the only engine that can audit per-node state.
 """
 
 from __future__ import annotations
@@ -44,10 +61,7 @@ from repro.analysis.bounds import (
     predicted_upcast_rounds,
 )
 from repro.analysis.concentration import merge_step_failure, partition_size_failure
-from repro.baselines import run_levy, run_local_collect
-from repro.core import find_hamiltonian_cycle
-from repro.engines.fast import run_dra_fast
-from repro.engines.fast_dhc2 import run_dhc2_fast
+from repro.engines.registry import REGISTRY
 from repro.graphs import (
     degree_statistics,
     diameter,
@@ -59,12 +73,37 @@ from repro.graphs import (
     paper_probability,
     random_regular_graph,
 )
+from repro.harness import ParallelTrialRunner, TrialRunner, TrialStore
 from repro.reporting import render_table
 
 __all__ = ["main", "build_parser"]
 
-_CONGEST_ALGORITHMS = ("dra", "dhc1", "dhc2", "upcast", "trivial")
-_EXTRA_ALGORITHMS = ("levy", "local", "dra-fast", "dhc2-fast")
+#: Pre-registry algorithm names, kept as aliases: each pins the engine
+#: the old name implied, so scripts and muscle memory keep working.
+_LEGACY_ALIASES = {
+    "dra-fast": ("dra", "fast"),
+    "dhc2-fast": ("dhc2", "fast"),
+}
+
+
+def _algorithm_choices() -> list[str]:
+    return REGISTRY.algorithms() + sorted(_LEGACY_ALIASES)
+
+
+def _engine_choices() -> list[str]:
+    return ["auto", *REGISTRY.engine_names()]
+
+
+def _resolve_algorithm(name: str, engine: str) -> tuple[str, str]:
+    """Map a CLI algorithm name (possibly a legacy alias) to registry keys."""
+    if name in _LEGACY_ALIASES:
+        algorithm, implied = _LEGACY_ALIASES[name]
+        if engine not in ("auto", implied):
+            raise ValueError(
+                f"--algorithm {name} implies --engine {implied}; "
+                f"use --algorithm {algorithm} --engine {engine} instead")
+        return algorithm, implied
+    return name, engine
 
 
 def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
@@ -91,7 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one algorithm on one graph")
     _add_graph_arguments(run_p)
     run_p.add_argument("--algorithm", default="dhc2",
-                       choices=list(_CONGEST_ALGORITHMS + _EXTRA_ALGORITHMS))
+                       choices=_algorithm_choices())
+    run_p.add_argument("--engine", default="auto", choices=_engine_choices(),
+                       help="execution engine (auto = fastest that supports "
+                            "the requested options)")
     run_p.add_argument("--k", type=int, default=None,
                        help="partition count override (DHC1/DHC2)")
     run_p.add_argument("--k-machines", type=int, default=None,
@@ -104,12 +146,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep_p = sub.add_parser("sweep", help="scaling study over n")
     _add_graph_arguments(sweep_p)
-    sweep_p.add_argument("--algorithm", default="dhc2-fast",
-                         choices=list(_CONGEST_ALGORITHMS + _EXTRA_ALGORITHMS))
+    sweep_p.add_argument("--algorithm", default="dhc2",
+                         choices=_algorithm_choices())
+    sweep_p.add_argument("--engine", default="auto", choices=_engine_choices(),
+                         help="execution engine (auto = fastest available)")
     sweep_p.add_argument("--sizes", default="64,128,256",
                          help="comma-separated node counts")
     sweep_p.add_argument("--trials", type=int, default=3)
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = serial; seeds and "
+                              "records are identical either way)")
+    sweep_p.add_argument("--store", default=None, metavar="PATH",
+                         help="JSONL trial store for resume: completed "
+                              "trials are skipped on rerun")
     sweep_p.add_argument("--json", action="store_true")
+
+    engines_p = sub.add_parser(
+        "engines", help="list registered (algorithm, engine) pairs")
+    engines_p.add_argument("--json", action="store_true")
 
     graph_p = sub.add_parser("graph", help="generate a graph and analyse it")
     _add_graph_arguments(graph_p)
@@ -124,14 +178,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_graph(args):
-    n = args.nodes
-    p = paper_probability(n, args.delta, args.c)
-    if args.model == "gnp":
-        return gnp_random_graph(n, p, seed=args.seed), p
+def _sample_graph(model: str, n: int, delta: float, c: float, seed: int):
+    """One random graph in the paper's parameterisation; returns (graph, p)."""
+    p = paper_probability(n, delta, c)
+    if model == "gnp":
+        return gnp_random_graph(n, p, seed=seed), p
     expected_m = round(p * n * (n - 1) / 2)
-    if args.model == "gnm":
-        return gnm_random_graph(n, expected_m, seed=args.seed), p
+    if model == "gnm":
+        return gnm_random_graph(n, expected_m, seed=seed), p
     degree = max(3, round(p * (n - 1)))
     if (n * degree) % 2:
         degree += 1
@@ -140,48 +194,60 @@ def _make_graph(args):
             f"a {degree}-regular graph on {n} nodes is denser than the "
             f"pairing model's practical range (degree <= n/2); lower --c "
             f"or raise --delta / --nodes")
-    return random_regular_graph(n, degree, seed=args.seed), p
+    return random_regular_graph(n, degree, seed=seed), p
 
 
-def _dispatch(graph, algorithm: str, seed: int, **kwargs):
-    if algorithm == "levy":
-        return run_levy(graph, seed=seed)
-    if algorithm == "local":
-        return run_local_collect(graph, seed=seed)
-    if algorithm == "dra-fast":
-        return run_dra_fast(graph, seed=seed)
-    if algorithm == "dhc2-fast":
-        return run_dhc2_fast(graph, seed=seed, **{
-            k: v for k, v in kwargs.items() if k in ("delta", "k")})
-    return find_hamiltonian_cycle(graph, algorithm=algorithm, seed=seed, **kwargs)
+def _make_graph(args):
+    return _sample_graph(args.model, args.nodes, args.delta, args.c, args.seed)
 
 
 def _cmd_run(args) -> int:
+    algorithm, engine = _resolve_algorithm(args.algorithm, args.engine)
     graph, p = _make_graph(args)
-    kwargs: dict = {}
-    if args.algorithm in _CONGEST_ALGORITHMS:
-        kwargs["audit_memory"] = args.audit_memory
-    if args.algorithm in ("dhc1", "dhc2", "dhc2-fast") and args.k is not None:
-        kwargs["k"] = args.k
-    if args.algorithm in ("dhc2", "dhc2-fast"):
-        kwargs["delta"] = args.delta
+
+    # Hard requirements (explicitly requested -> must be supported);
+    # delta is soft: it parameterises the graph for every algorithm but
+    # only some runners consume it, so it is filtered per spec.
+    required: dict = {}
+    if args.audit_memory:
+        required["audit_memory"] = True
+    if args.k is not None:
+        required["k"] = args.k
 
     kmachine_summary = None
     if args.k_machines is not None:
         from repro.kmachine import run_converted_hc
 
-        if args.algorithm not in ("dra", "dhc1", "dhc2"):
+        congest_spec = REGISTRY.engines_for(algorithm).get("congest")
+        if congest_spec is None or not congest_spec.kmachine_convertible:
             print("--k-machines applies to the fully-distributed CONGEST "
-                  "algorithms (dra, dhc1, dhc2)", file=sys.stderr)
+                  f"algorithms ({', '.join(REGISTRY.convertible_algorithms())})",
+                  file=sys.stderr)
             return 2
-        kwargs.pop("audit_memory", None)
+        if engine not in ("auto", "congest"):
+            if args.algorithm in _LEGACY_ALIASES:
+                print(f"--k-machines simulates the congest engine; use "
+                      f"--algorithm {algorithm} instead of the "
+                      f"{args.algorithm} alias", file=sys.stderr)
+            else:
+                print("--k-machines simulates the congest engine; drop "
+                      f"--engine {engine}", file=sys.stderr)
+            return 2
+        required.pop("audit_memory", None)
+        # Same capability validation the non-converted path gets from
+        # resolve(): a clean error, not a traceback from deep inside.
+        REGISTRY.resolve(algorithm, "congest", require=required)
+        kwargs = dict(required)
+        kwargs.update(congest_spec.filter_kwargs({"delta": args.delta}))
         result, km = run_converted_hc(
-            graph, algorithm=args.algorithm, k_machines=args.k_machines,
-            seed=args.seed + 1, **{k: v for k, v in kwargs.items()
-                                   if k in ("delta", "k")})
+            graph, algorithm=algorithm, k_machines=args.k_machines,
+            seed=args.seed + 1, **kwargs)
         kmachine_summary = km.summary()
     else:
-        result = _dispatch(graph, args.algorithm, args.seed + 1, **kwargs)
+        spec = REGISTRY.resolve(algorithm, engine, require=required)
+        kwargs = dict(required)
+        kwargs.update(spec.filter_kwargs({"delta": args.delta}))
+        result = spec.call(graph, seed=args.seed + 1, **kwargs)
 
     if args.json:
         payload = {
@@ -212,29 +278,62 @@ def _cmd_run(args) -> int:
     return 0 if result.success else 1
 
 
+class _SweepTrial:
+    """One sweep trial as a picklable callable (``--jobs`` workers).
+
+    Holds only plain parameters; the registry lookup happens inside the
+    call, in whichever process runs it.
+    """
+
+    def __init__(self, algorithm: str, engine: str, delta: float, c: float,
+                 model: str):
+        self.algorithm = algorithm
+        self.engine = engine
+        self.delta = delta
+        self.c = c
+        self.model = model
+
+    def __call__(self, point: dict, seed: int):
+        graph, _p = _sample_graph(
+            self.model, point["n"], self.delta, self.c, seed)
+        spec = REGISTRY.resolve(self.algorithm, self.engine)
+        kwargs = spec.filter_kwargs({"delta": self.delta})
+        return spec.call(graph, seed=seed, **kwargs)
+
+
 def _cmd_sweep(args) -> int:
+    algorithm, engine = _resolve_algorithm(args.algorithm, args.engine)
     sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
     if len(sizes) < 2:
         print("sweep needs at least two sizes", file=sys.stderr)
         return 2
+    # Fail an invalid (algorithm, engine) pair here, before any graph
+    # is sampled or worker pool spawned; trials re-resolve per call
+    # (deterministically — same algorithm, engine, and empty require).
+    resolved_engine = REGISTRY.resolve(algorithm, engine).engine
+
+    trial_fn = _SweepTrial(algorithm, engine, args.delta, args.c, args.model)
+    store = TrialStore(args.store) if args.store else None
+    runner_cls = ParallelTrialRunner if args.jobs > 1 else TrialRunner
+    runner_kwargs = {"master_seed": args.seed, "store": store}
+    if args.jobs > 1:
+        runner_kwargs["jobs"] = args.jobs
+    runner = runner_cls(trial_fn, **runner_kwargs)
+    trials = runner.run([{"n": n} for n in sizes], trials=args.trials)
+
     rows = []
     ns, mean_rounds = [], []
     for n in sizes:
+        bucket = [t for t in trials if t.point["n"] == n]
+        wins = sum(t.success for t in bucket)
+        rounds = [t.metrics["rounds"] for t in bucket
+                  if t.success and "rounds" in t.metrics]
         p = paper_probability(n, args.delta, args.c)
-        rounds, wins = [], 0
-        for trial in range(args.trials):
-            seed = args.seed + 1000 * trial + n
-            graph = gnp_random_graph(n, p, seed=seed)
-            sweep_kwargs = {}
-            if args.algorithm in ("dhc2", "dhc2-fast"):
-                sweep_kwargs["delta"] = args.delta
-            result = _dispatch(graph, args.algorithm, seed, **sweep_kwargs)
-            if result.success:
-                wins += 1
-                rounds.append(result.rounds)
         mean = sum(rounds) / len(rounds) if rounds else float("nan")
         rows.append([n, f"{p:.4f}", wins, args.trials, round(mean, 1)])
-        if rounds:
+        if rounds and mean > 0:
+            # Sequential engines report rounds=0 (nothing distributed
+            # to account for); a power-law fit is meaningless there.
             ns.append(float(n))
             mean_rounds.append(mean)
 
@@ -243,16 +342,43 @@ def _cmd_sweep(args) -> int:
         _a, exponent = fit_power_law(ns, mean_rounds)
     if args.json:
         print(json.dumps({
-            "algorithm": args.algorithm,
+            "algorithm": algorithm,
+            "engine": resolved_engine,
+            "jobs": args.jobs,
             "rows": rows,
             "fitted_exponent": exponent,
         }, indent=2))
     else:
         print(render_table(["n", "p", "successes", "trials", "mean rounds"], rows,
-                           title=f"{args.algorithm} sweep (delta={args.delta}, "
-                                 f"c={args.c})"))
+                           title=f"{algorithm} sweep (engine={resolved_engine}, "
+                                 f"delta={args.delta}, c={args.c})"))
         if exponent is not None:
             print(f"fitted rounds ~ n^{exponent:.3f}")
+    return 0
+
+
+def _cmd_engines(args) -> int:
+    specs = sorted(REGISTRY, key=lambda s: (s.algorithm, -s.priority))
+    if args.json:
+        print(json.dumps([{
+            "algorithm": s.algorithm,
+            "engine": s.engine,
+            "supported_kwargs": sorted(s.supported_kwargs),
+            "kmachine_convertible": s.kmachine_convertible,
+            "audits_memory": s.audits_memory,
+            "parity": sorted(s.parity),
+            "summary": s.summary,
+        } for s in specs], indent=2))
+    else:
+        rows = [[s.algorithm, s.engine,
+                 "yes" if s.kmachine_convertible else "-",
+                 "yes" if s.audits_memory else "-",
+                 ",".join(sorted(s.supported_kwargs)) or "-",
+                 s.summary]
+                for s in specs]
+        print(render_table(
+            ["algorithm", "engine", "k-machine", "audit", "kwargs", "summary"],
+            rows, title="registered (algorithm, engine) pairs"))
     return 0
 
 
@@ -318,6 +444,7 @@ def _cmd_bounds(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "engines": _cmd_engines,
     "graph": _cmd_graph,
     "bounds": _cmd_bounds,
 }

@@ -1,15 +1,33 @@
-"""Execution engines and shared result types.
+"""Execution engines: the registry, the engine contract, result types.
 
-Two ways to execute the paper's algorithms:
+Three ways to execute the library's algorithms:
 
 * the message-level CONGEST engine (:mod:`repro.congest`) — every
   message simulated, every model rule enforced;
 * the step-level fast engine (:mod:`repro.engines.fast`) — identical
   algorithmic decisions and RNG streams, with rounds advanced by the
   deterministic schedule the CONGEST protocol follows.  Used for
-  large-n scaling experiments; cross-validated by integration tests.
+  large-n scaling experiments; cross-validated by integration tests;
+* the sequential engine (:mod:`repro.sequential`) — centralized
+  solvers used as oracles and comparators.
+
+All of them are reached through one dispatch table,
+:data:`repro.engines.registry.REGISTRY`, keyed by ``(algorithm,
+engine)`` and exposed as :func:`repro.run`.  See
+``docs/ARCHITECTURE.md`` for the layering and how to register a new
+algorithm or engine.
 """
 
+from repro.engines.api import ENGINE_PRIORITY, Engine, EngineSpec
+from repro.engines.registry import REGISTRY, EngineRegistry, run
 from repro.engines.results import RunResult
 
-__all__ = ["RunResult"]
+__all__ = [
+    "RunResult",
+    "Engine",
+    "EngineSpec",
+    "EngineRegistry",
+    "REGISTRY",
+    "ENGINE_PRIORITY",
+    "run",
+]

@@ -22,6 +22,8 @@ which is what licenses using it for the large-n benchmark sweeps.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.analysis.bounds import diameter_budget, dra_step_budget
@@ -131,6 +133,25 @@ def bfs_completion_round(tree: SpanningTree, neighbors_of, start_round: int) -> 
 
 
 def run_dra_fast(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    step_budget: int | None = None,
+) -> RunResult:
+    """Deprecated direct entry point — use ``repro.run(graph, "dra", engine="fast")``.
+
+    Kept as a thin wrapper over the registry-registered implementation
+    so out-of-tree scripts written against the pre-registry API keep
+    working unchanged.
+    """
+    warnings.warn(
+        "run_dra_fast is deprecated; use repro.run(graph, 'dra', engine='fast') "
+        "or repro.engines.registry.REGISTRY.get('dra', 'fast')",
+        DeprecationWarning, stacklevel=2)
+    return _dra_fast(graph, seed=seed, step_budget=step_budget)
+
+
+def _dra_fast(
     graph: Graph,
     *,
     seed: int = 0,

@@ -18,6 +18,7 @@ pacing.  Cross-engine tests bound the ratio; scaling *shape* (the
 from __future__ import annotations
 
 import math
+import warnings
 
 import numpy as np
 
@@ -33,6 +34,26 @@ __all__ = ["run_dhc2_fast"]
 
 
 def run_dhc2_fast(
+    graph: Graph,
+    *,
+    delta: float = 0.5,
+    k: int | None = None,
+    seed: int = 0,
+) -> RunResult:
+    """Deprecated direct entry point — use ``repro.run(graph, "dhc2", engine="fast")``.
+
+    Kept as a thin wrapper over the registry-registered implementation
+    so out-of-tree scripts written against the pre-registry API keep
+    working unchanged.
+    """
+    warnings.warn(
+        "run_dhc2_fast is deprecated; use repro.run(graph, 'dhc2', engine='fast') "
+        "or repro.engines.registry.REGISTRY.get('dhc2', 'fast')",
+        DeprecationWarning, stacklevel=2)
+    return _dhc2_fast(graph, delta=delta, k=k, seed=seed)
+
+
+def _dhc2_fast(
     graph: Graph,
     *,
     delta: float = 0.5,

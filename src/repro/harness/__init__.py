@@ -11,6 +11,9 @@ and available to downstream users building their own experiments:
 * :class:`~repro.harness.runner.TrialRunner` — runs a trial function
   over grid x seeds with deterministic seed derivation, collecting
   :class:`~repro.harness.runner.Trial` records;
+* :class:`~repro.harness.runner.ParallelTrialRunner` — the same
+  contract fanned out over worker processes: identical seed tree,
+  identical store records, every core busy;
 * :mod:`repro.harness.aggregate` — success rates, means, quantiles,
   group-by over trial records;
 * :class:`~repro.harness.store.TrialStore` — JSONL persistence with
@@ -20,13 +23,14 @@ and available to downstream users building their own experiments:
 
 from repro.harness.aggregate import group_by, quantile, success_rate, summarize
 from repro.harness.grid import ParameterGrid
-from repro.harness.runner import Trial, TrialRunner
+from repro.harness.runner import ParallelTrialRunner, Trial, TrialRunner
 from repro.harness.store import TrialStore
 
 __all__ = [
     "ParameterGrid",
     "Trial",
     "TrialRunner",
+    "ParallelTrialRunner",
     "TrialStore",
     "success_rate",
     "summarize",

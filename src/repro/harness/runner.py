@@ -15,6 +15,9 @@ a boolean ``success`` — both are normalised into :class:`Trial`.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
@@ -23,7 +26,7 @@ import numpy as np
 
 from repro.engines.results import RunResult
 
-__all__ = ["Trial", "TrialRunner"]
+__all__ = ["Trial", "TrialRunner", "ParallelTrialRunner"]
 
 
 @dataclass
@@ -67,6 +70,17 @@ class Trial:
     def key(self) -> tuple:
         """Identity of this trial for resume de-duplication."""
         return (tuple(sorted(self.point.items())), self.trial_index)
+
+    def canonical_json(self) -> dict[str, Any]:
+        """:meth:`to_json` minus wall-clock fields.
+
+        Two runs of the same sweep — serial or parallel, fresh or
+        resumed — produce byte-identical canonical records; only
+        ``elapsed_s`` varies with the machine's load.
+        """
+        data = self.to_json()
+        data.pop("elapsed_s", None)
+        return data
 
 
 class TrialRunner:
@@ -131,6 +145,109 @@ class TrialRunner:
                 if progress is not None:
                     progress(trial)
         return out
+
+
+class ParallelTrialRunner(TrialRunner):
+    """A :class:`TrialRunner` that fans trials out over worker processes.
+
+    Seed derivation, trial ordering, store contents, and resume
+    behaviour are all identical to the serial runner: seeds come from
+    the same ``SeedSequence`` tree keyed by (grid point #, trial #), and
+    results are consumed from the pool in submission order, so the
+    JSONL store receives the same records in the same order as a serial
+    run (byte-identical up to the wall-clock ``elapsed_s`` field — see
+    :meth:`Trial.canonical_json`).  Only wall-clock time differs.
+
+    The trial function must be picklable (a module-level function or
+    class instance), as must its return value — true for
+    :class:`~repro.engines.results.RunResult` and plain mappings.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; defaults to the machine's CPU count.
+        ``jobs=1`` degrades to the serial code path (no pool spawned).
+    mp_context:
+        ``multiprocessing`` start method.  Defaults to ``"fork"`` on
+        Linux (cheap, inherits imports) and the platform default
+        elsewhere — macOS lists ``fork`` but defaults to ``spawn``
+        because forking a threaded/Accelerate-initialised process is
+        unsafe there.
+    """
+
+    def __init__(self, fn: Callable[[dict, int], Any], *,
+                 master_seed: int = 0, store=None, jobs: int | None = None,
+                 mp_context: str | None = None):
+        super().__init__(fn, master_seed=master_seed, store=store)
+        self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
+        if mp_context is None and sys.platform.startswith("linux") \
+                and "fork" in multiprocessing.get_all_start_methods():
+            mp_context = "fork"
+        self.mp_context = mp_context
+
+    def run(self, points, *, trials: int = 1,
+            progress: Callable[[Trial], None] | None = None) -> list[Trial]:
+        if self.jobs <= 1:
+            return super().run(points, trials=trials, progress=progress)
+        points = [dict(p) for p in points]
+        done: dict[tuple, Trial] = {}
+        if self.store is not None:
+            for trial in self.store.load():
+                done[trial.key()] = trial
+
+        # (point_index, trial_index) -> existing Trial or None (pending).
+        schedule: list[tuple[int, int, Trial | None]] = []
+        pending: list[tuple[int, int]] = []
+        for point_index, point in enumerate(points):
+            for trial_index in range(trials):
+                probe = Trial(point=dict(point), trial_index=trial_index,
+                              seed=0, success=False)
+                existing = done.get(probe.key())
+                schedule.append((point_index, trial_index, existing))
+                if existing is None:
+                    pending.append((point_index, trial_index))
+
+        if len(pending) <= 1:  # nothing worth a pool; serial path resumes
+            return super().run(points, trials=trials, progress=progress)
+
+        tasks = [(points[pi], ti, self.derive_seed(pi, ti))
+                 for pi, ti in pending]
+        computed: dict[tuple[int, int], Trial] = {}
+        ctx = multiprocessing.get_context(self.mp_context)
+        workers = min(self.jobs, len(tasks))
+        with ctx.Pool(processes=workers, initializer=_pool_initializer,
+                      initargs=(self.fn,)) as pool:
+            # imap (ordered) keeps store appends in submission order —
+            # the same order the serial runner writes.
+            for key, trial in zip(pending,
+                                  pool.imap(_pool_trial, tasks, chunksize=1)):
+                computed[key] = trial
+                if self.store is not None:
+                    self.store.append(trial)
+                if progress is not None:
+                    progress(trial)
+
+        return [existing if existing is not None
+                else computed[(point_index, trial_index)]
+                for point_index, trial_index, existing in schedule]
+
+
+#: Per-worker trial function, installed once by the pool initializer so
+#: each task message carries only (point, index, seed).
+_worker_fn: Callable[[dict, int], Any] | None = None
+
+
+def _pool_initializer(fn: Callable[[dict, int], Any]) -> None:
+    global _worker_fn
+    _worker_fn = fn
+
+
+def _pool_trial(task: tuple[dict, int, int]) -> Trial:
+    point, trial_index, seed = task
+    start = time.perf_counter()
+    raw = _worker_fn(dict(point), seed)
+    elapsed = time.perf_counter() - start
+    return _normalize(raw, dict(point), trial_index, seed, elapsed)
 
 
 def _normalize(raw: Any, point: dict, trial_index: int, seed: int,

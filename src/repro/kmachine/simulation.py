@@ -169,14 +169,21 @@ def run_converted_hc(
 
     The returned ``RunResult`` is identical to a native run with the
     same seed — conversion never perturbs the protocol.
-    """
-    from repro.core import run_dhc1, run_dhc2, run_dra
 
-    front_ends = {"dra": run_dra, "dhc1": run_dhc1, "dhc2": run_dhc2}
-    if algorithm not in front_ends:
+    Which algorithms are convertible is a *capability* declared in the
+    engine registry (``kmachine_convertible`` on the congest spec), not
+    a name list here: registering a new fully-distributed algorithm
+    with that capability makes it convertible everywhere, including the
+    CLI's ``--k-machines`` flag.
+    """
+    from repro.engines.registry import REGISTRY
+
+    spec = REGISTRY.engines_for(algorithm).get("congest")
+    if spec is None or not spec.kmachine_convertible:
         raise ValueError(
-            f"unknown algorithm {algorithm!r}; conversion targets the "
-            f"fully-distributed algorithms: {sorted(front_ends)}")
+            f"algorithm {algorithm!r} is not k-machine convertible; "
+            f"conversion targets the fully-distributed CONGEST algorithms: "
+            f"{REGISTRY.convertible_algorithms()}")
 
     partition = VertexPartition.random(graph.n, k_machines, seed=seed)
     accountant = _LinkAccountant(partition, link_words)
@@ -184,8 +191,7 @@ def run_converted_hc(
     def hook(network: Network) -> None:
         network.round_observer = accountant.observe
 
-    result = front_ends[algorithm](
-        graph, seed=seed, network_hook=hook, **algorithm_kwargs)
+    result = spec.call(graph, seed=seed, network_hook=hook, **algorithm_kwargs)
     return result, accountant.metrics
 
 

@@ -3,6 +3,7 @@
 from repro.sequential.angluin_valiant import angluin_valiant_cycle, sequential_step_budget
 from repro.sequential.backtracking import exact_hamiltonian_cycle, is_hamiltonian
 from repro.sequential.posa import posa_cycle
+from repro.sequential.runners import run_angluin_valiant, run_posa
 
 __all__ = [
     "angluin_valiant_cycle",
@@ -10,4 +11,6 @@ __all__ = [
     "posa_cycle",
     "exact_hamiltonian_cycle",
     "is_hamiltonian",
+    "run_posa",
+    "run_angluin_valiant",
 ]

@@ -14,7 +14,7 @@ import pytest
 from repro.baselines import run_levy, run_local_collect
 from repro.baselines.levy import levy_density_requirement
 from repro.core import run_dhc2
-from repro.engines.fast_dhc2 import run_dhc2_fast
+import repro
 from repro.graphs import gnp_random_graph, paper_probability
 from repro.graphs.adjacency import Graph
 from repro.graphs.properties import eccentricity
@@ -82,7 +82,7 @@ class TestLevyBaseline:
             graph = gnp_random_graph(n, p, seed=seed)
             if run_levy(graph, seed=seed).success:
                 levy_wins += 1
-            if run_dhc2_fast(graph, delta=1.0, seed=seed).success:
+            if repro.run(graph, "dhc2", engine="fast", delta=1.0, seed=seed).success:
                 dhc2_wins += 1
         assert dhc2_wins > levy_wins
 

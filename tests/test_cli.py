@@ -1,6 +1,9 @@
 """Tests for the ``repro-hc`` command-line front end."""
 
 import json
+import os
+import subprocess
+import sys
 
 import pytest
 
@@ -96,6 +99,84 @@ class TestRunCommand:
         assert "pairing model" in err
 
 
+class TestEngineSelection:
+    def test_explicit_congest_engine(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra", "--engine", "congest",
+            "--nodes", "48", "--c", "8", "--delta", "1.0", "--seed", "1",
+            "--json")
+        payload = json.loads(out)
+        assert payload["engine"] == "congest"
+        assert payload["messages"] > 0
+
+    def test_explicit_fast_engine(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra", "--engine", "fast",
+            "--nodes", "48", "--c", "8", "--delta", "1.0", "--seed", "1",
+            "--json")
+        payload = json.loads(out)
+        assert payload["engine"] == "fast"
+
+    def test_auto_engine_picks_fast_for_plain_runs(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra", "--nodes", "48",
+            "--c", "8", "--delta", "1.0", "--seed", "1", "--json")
+        assert json.loads(out)["engine"] == "fast"
+
+    def test_auto_engine_honours_audit_memory(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra", "--nodes", "48",
+            "--c", "8", "--delta", "1.0", "--seed", "1", "--audit-memory",
+            "--json")
+        assert json.loads(out)["engine"] == "congest"
+
+    def test_engines_identical_cycles(self, capsys):
+        """The CLI surfaces the engine parity the registry declares."""
+        args = ("--algorithm", "dra", "--nodes", "48", "--c", "8",
+                "--delta", "1.0", "--seed", "3", "--json")
+        _, out_fast, _ = run_cli(capsys, "run", "--engine", "fast", *args)
+        _, out_congest, _ = run_cli(capsys, "run", "--engine", "congest", *args)
+        fast, congest = json.loads(out_fast), json.loads(out_congest)
+        assert fast["rounds"] == congest["rounds"]
+        assert fast["steps"] == congest["steps"]
+
+    def test_legacy_alias_conflicting_engine_rejected(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "--algorithm", "dra-fast", "--engine", "congest",
+            "--nodes", "48")
+        assert code == 2
+        assert "implies --engine fast" in err
+
+    def test_sequential_engine(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "posa", "--nodes", "64",
+            "--c", "8", "--delta", "1.0", "--seed", "1", "--json")
+        payload = json.loads(out)
+        assert payload["engine"] == "sequential"
+        assert payload["rounds"] == 0
+
+    def test_unsupported_capability_is_a_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "--algorithm", "levy", "--audit-memory",
+            "--nodes", "48")
+        assert code == 2
+        assert "audit_memory" in err
+
+
+class TestEnginesCommand:
+    def test_engines_table(self, capsys):
+        code, out, _ = run_cli(capsys, "engines")
+        assert code == 0
+        assert "dhc2" in out and "congest" in out and "fast" in out
+
+    def test_engines_json_lists_capabilities(self, capsys):
+        code, out, _ = run_cli(capsys, "engines", "--json")
+        specs = {(s["algorithm"], s["engine"]): s for s in json.loads(out)}
+        assert specs[("dra", "congest")]["kmachine_convertible"] is True
+        assert specs[("dra", "fast")]["kmachine_convertible"] is False
+        assert "rounds" in specs[("dra", "fast")]["parity"]
+
+
 class TestSweepCommand:
     def test_sweep_fits_exponent(self, capsys):
         code, out, _ = run_cli(
@@ -119,6 +200,77 @@ class TestSweepCommand:
         code, _, err = run_cli(capsys, "sweep", "--sizes", "64")
         assert code == 2
         assert "two sizes" in err
+
+    def test_sweep_sequential_algorithm_skips_power_law(self, capsys):
+        # Sequential engines report rounds=0; the sweep must still
+        # print its table instead of dying inside fit_power_law.
+        code, out, _ = run_cli(
+            capsys, "sweep", "--algorithm", "posa", "--sizes", "24,32",
+            "--trials", "2", "--c", "8", "--delta", "1.0", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert len(payload["rows"]) == 2
+        assert payload["fitted_exponent"] is None
+
+    def test_kmachines_with_unsupported_kwarg_is_a_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "--algorithm", "dra", "--k", "4",
+            "--k-machines", "2", "--nodes", "48")
+        assert code == 2
+        assert "does not support: k" in err
+
+    def test_kmachines_with_legacy_alias_suggests_base_name(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "--algorithm", "dra-fast", "--k-machines", "2",
+            "--nodes", "48")
+        assert code == 2
+        assert "--algorithm dra" in err
+
+    def test_sweep_jobs_matches_serial_store(self, capsys, tmp_path):
+        """A --jobs sweep writes the same records a serial sweep does."""
+        args = ("sweep", "--algorithm", "dra", "--engine", "fast",
+                "--sizes", "48,64", "--trials", "4", "--c", "8",
+                "--delta", "1.0", "--seed", "5", "--json")
+        serial_store = tmp_path / "serial.jsonl"
+        parallel_store = tmp_path / "parallel.jsonl"
+        code_s, out_s, _ = run_cli(capsys, *args, "--store", str(serial_store))
+        code_p, out_p, _ = run_cli(capsys, *args, "--jobs", "2",
+                                   "--store", str(parallel_store))
+        assert code_s == code_p == 0
+        assert json.loads(out_s)["rows"] == json.loads(out_p)["rows"]
+
+        def canonical(path):
+            records = [json.loads(line) for line in
+                       path.read_text().splitlines() if line]
+            for r in records:
+                r.pop("elapsed_s", None)
+            return [json.dumps(r, sort_keys=True) for r in records]
+
+        assert canonical(serial_store) == canonical(parallel_store)
+
+    def test_sweep_store_resume_skips_completed(self, capsys, tmp_path):
+        store = tmp_path / "resume.jsonl"
+        args = ("sweep", "--algorithm", "dra", "--engine", "fast",
+                "--sizes", "48,64", "--trials", "2", "--c", "8",
+                "--delta", "1.0", "--store", str(store), "--json")
+        run_cli(capsys, *args)
+        first = store.read_text()
+        run_cli(capsys, *args)  # rerun: everything loaded, nothing appended
+        assert store.read_text() == first
+
+
+class TestMainModule:
+    def test_python_dash_m_repro(self):
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        src = os.path.join(root, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "bounds", "--nodes", "64",
+             "--json"],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert proc.returncode == 0
+        assert json.loads(proc.stdout)["p"] > 0
 
 
 class TestGraphCommand:

@@ -7,7 +7,7 @@ import pytest
 from repro.core import run_dhc2
 from repro.core.dhc2 import default_color_count
 from repro.core.phase1 import color_at_level, colors_at_level, merge_levels
-from repro.engines.fast_dhc2 import run_dhc2_fast
+import repro
 from repro.graphs import gnp_random_graph
 from repro.verify import is_hamiltonian_cycle
 
@@ -108,14 +108,14 @@ class TestDhc2FastEngine:
     def test_cycles_identical_across_engines(self, n, k, seed):
         g = dhc2_graph(n, k, seed=seed)
         slow = run_dhc2(g, k=k, seed=seed + 1)
-        fast = run_dhc2_fast(g, k=k, seed=seed + 1)
+        fast = repro.run(g, "dhc2", engine="fast", k=k, seed=seed + 1)
         assert slow.success and fast.success
         assert slow.cycle == fast.cycle
 
     def test_round_estimates_same_ballpark(self):
         g = dhc2_graph(200, 4, seed=4)
         slow = run_dhc2(g, k=4, seed=5)
-        fast = run_dhc2_fast(g, k=4, seed=5)
+        fast = repro.run(g, "dhc2", engine="fast", k=4, seed=5)
         ratio = slow.rounds / fast.rounds
         assert 0.2 < ratio < 5.0
 
@@ -123,12 +123,12 @@ class TestDhc2FastEngine:
         n = 1024
         p = min(1.0, 6 * math.log(n) / math.sqrt(n))
         g = gnp_random_graph(n, p, seed=9)
-        res = run_dhc2_fast(g, delta=0.5, seed=10)
+        res = repro.run(g, "dhc2", engine="fast", delta=0.5, seed=10)
         assert res.success
         assert is_hamiltonian_cycle(g, res.cycle)
 
     def test_fast_failure_reported(self):
         g = gnp_random_graph(100, 0.02, seed=3)
-        res = run_dhc2_fast(g, k=4, seed=4)
+        res = repro.run(g, "dhc2", engine="fast", k=4, seed=4)
         assert not res.success
         assert "fail" in res.detail

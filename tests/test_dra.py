@@ -7,7 +7,7 @@ import pytest
 from repro.analysis.bounds import dra_step_budget
 from repro.core import run_dra
 from repro.core.rotation import FAIL_NO_EDGES, FAIL_TOO_SMALL
-from repro.engines.fast import run_dra_fast
+import repro
 from repro.graphs import Graph, gnp_random_graph
 from repro.verify import is_hamiltonian_cycle
 
@@ -69,7 +69,7 @@ class TestDraFastEngine:
         """The headline cross-validation: same cycle, steps, and rounds."""
         g = dense_gnp(n, c=c, seed=seed)
         slow = run_dra(g, seed=seed + 10)
-        fast = run_dra_fast(g, seed=seed + 10)
+        fast = repro.run(g, "dra", engine="fast", seed=seed + 10)
         assert slow.success == fast.success
         assert slow.cycle == fast.cycle
         assert slow.steps == fast.steps
@@ -78,13 +78,13 @@ class TestDraFastEngine:
     def test_engines_agree_on_failure(self):
         g = dense_gnp(200, c=4, seed=7)  # marginal density: may fail
         slow = run_dra(g, seed=1)
-        fast = run_dra_fast(g, seed=1)
+        fast = repro.run(g, "dra", engine="fast", seed=1)
         assert slow.success == fast.success
         assert slow.rounds == fast.rounds
 
     def test_fast_engine_validates_output(self):
         g = dense_gnp(120, c=8, seed=4)
-        res = run_dra_fast(g, seed=6)
+        res = repro.run(g, "dra", engine="fast", seed=6)
         assert res.success
         assert is_hamiltonian_cycle(g, res.cycle)
 
@@ -92,18 +92,18 @@ class TestDraFastEngine:
         """Steps stay within 7 n ln n (Theorem 2) with a wide margin."""
         for n, seed in [(100, 0), (200, 1), (400, 2)]:
             g = dense_gnp(n, c=8, seed=seed)
-            res = run_dra_fast(g, seed=seed)
+            res = repro.run(g, "dra", engine="fast", seed=seed)
             assert res.success
             assert res.steps <= 7 * n * math.log(n)
 
     def test_disconnected_graph_fails(self):
         g = Graph(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-        assert not run_dra_fast(g, seed=0).success
+        assert not repro.run(g, "dra", engine="fast", seed=0).success
         assert not run_dra(g, seed=0).success
 
     def test_rotation_and_extension_counters(self):
         g = dense_gnp(100, c=8, seed=5)
-        res = run_dra_fast(g, seed=3)
+        res = repro.run(g, "dra", engine="fast", seed=3)
         detail = res.detail
         assert detail["extensions"] == 99  # n-1 extensions exactly
         assert detail["extensions"] + detail["rotations"] + detail["retries"] \

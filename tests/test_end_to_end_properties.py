@@ -14,8 +14,7 @@ from hypothesis import strategies as st
 
 from repro.analysis.bounds import dra_step_budget
 from repro.baselines import run_levy, run_local_collect
-from repro.engines.fast import run_dra_fast
-from repro.engines.fast_dhc2 import run_dhc2_fast
+import repro
 from repro.graphs import gnm_random_graph, gnp_random_graph
 from repro.kmachine import run_converted_hc
 from repro.verify import is_hamiltonian_cycle
@@ -30,7 +29,7 @@ class TestAlgorithmContracts:
     @given(n=st.integers(24, 96), c=st.floats(2.0, 10.0), seed=st.integers(0, 10**6))
     @settings(max_examples=20, deadline=None)
     def test_dra_success_iff_verified_cycle(self, n, c, seed):
-        result = run_dra_fast(_graph(n, c, seed), seed=seed)
+        result = repro.run(_graph(n, c, seed), "dra", engine="fast", seed=seed)
         if result.success:
             assert result.cycle is not None
             assert is_hamiltonian_cycle(_graph(n, c, seed), result.cycle)
@@ -41,7 +40,7 @@ class TestAlgorithmContracts:
     @given(n=st.integers(24, 96), seed=st.integers(0, 10**6))
     @settings(max_examples=15, deadline=None)
     def test_dra_respects_step_budget(self, n, seed):
-        result = run_dra_fast(_graph(n, 8.0, seed), seed=seed)
+        result = repro.run(_graph(n, 8.0, seed), "dra", engine="fast", seed=seed)
         assert result.steps <= dra_step_budget(n)
 
     @given(n=st.integers(48, 128), seed=st.integers(0, 10**6),
@@ -49,7 +48,7 @@ class TestAlgorithmContracts:
     @settings(max_examples=12, deadline=None)
     def test_dhc2_success_iff_verified_cycle(self, n, seed, k):
         graph = _graph(n, 9.0, seed)
-        result = run_dhc2_fast(graph, k=k, seed=seed)
+        result = repro.run(graph, "dhc2", engine="fast", k=k, seed=seed)
         if result.success:
             assert is_hamiltonian_cycle(graph, result.cycle)
             assert result.cycle[0] == 0  # normalised start
@@ -85,8 +84,8 @@ class TestDeterminism:
     @settings(max_examples=10, deadline=None)
     def test_fast_engine_is_a_pure_function_of_seed(self, n, seed):
         graph = _graph(n, 8.0, seed)
-        a = run_dra_fast(graph, seed=seed)
-        b = run_dra_fast(graph, seed=seed)
+        a = repro.run(graph, "dra", engine="fast", seed=seed)
+        b = repro.run(graph, "dra", engine="fast", seed=seed)
         assert a.success == b.success
         assert a.cycle == b.cycle
         assert a.rounds == b.rounds

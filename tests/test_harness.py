@@ -2,6 +2,8 @@
 
 import json
 
+import repro
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -241,13 +243,12 @@ class TestAggregation:
 class TestEndToEndSweep:
     def test_harness_drives_a_real_algorithm(self, tmp_path):
         """A miniature E6-style sweep through the public harness API."""
-        from repro.engines.fast import run_dra_fast
         from repro.graphs import gnp_random_graph, paper_probability
 
         def trial(point, seed):
             p = paper_probability(point["n"], 1.0, point["c"])
             graph = gnp_random_graph(point["n"], p, seed=seed)
-            return run_dra_fast(graph, seed=seed)
+            return repro.run(graph, "dra", engine="fast", seed=seed)
 
         grid = ParameterGrid(n=[64], c=[2.0, 8.0])
         store = TrialStore(tmp_path / "sweep.jsonl")

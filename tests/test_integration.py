@@ -2,6 +2,8 @@
 
 import math
 
+import repro
+
 import pytest
 
 from repro import find_hamiltonian_cycle
@@ -80,14 +82,13 @@ class TestSuccessProbabilityShape:
     """E6's mechanism, asserted coarsely: denser -> more reliable."""
 
     def test_success_improves_with_c(self):
-        from repro.engines.fast import run_dra_fast
 
         def rate(c, trials=6):
             wins = 0
             for s in range(trials):
                 n = 200
                 g = gnp_random_graph(n, min(1.0, c * math.log(n) / n), seed=40 + s)
-                wins += run_dra_fast(g, seed=60 + s).success
+                wins += repro.run(g, "dra", engine="fast", seed=60 + s).success
             return wins
 
         assert rate(10) >= rate(2)

@@ -206,7 +206,14 @@ class TestConvertedAlgorithms:
 
     def test_unknown_algorithm_rejected(self):
         graph = self._graph(n=24)
-        with pytest.raises(ValueError, match="unknown algorithm"):
+        with pytest.raises(ValueError, match="not k-machine convertible"):
+            run_converted_hc(graph, algorithm="no-such-algorithm", k_machines=2)
+
+    def test_centralized_algorithm_rejected(self):
+        # upcast is registered but centralized: the registry's congest
+        # spec declares kmachine_convertible=False, so conversion refuses.
+        graph = self._graph(n=24)
+        with pytest.raises(ValueError, match="not k-machine convertible"):
             run_converted_hc(graph, algorithm="upcast", k_machines=2)
 
     def test_busiest_link_is_consistent(self):

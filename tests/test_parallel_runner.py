@@ -1,0 +1,108 @@
+"""ParallelTrialRunner: bit-for-bit parity with the serial runner.
+
+The parallel runner must be an implementation detail, not a semantic
+choice: same seed tree, same trial order, same store records (up to the
+wall-clock ``elapsed_s`` field), and the same resume behaviour.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.graphs import gnp_random_graph, paper_probability
+from repro.harness import ParallelTrialRunner, ParameterGrid, TrialRunner, TrialStore
+
+
+def dra_trial(point, seed):
+    """Module-level so pool workers can unpickle it."""
+    p = paper_probability(point["n"], 1.0, point["c"])
+    graph = gnp_random_graph(point["n"], p, seed=seed)
+    return repro.run(graph, "dra", engine="fast", seed=seed)
+
+
+def mapping_trial(point, seed):
+    return {"success": seed % 3 != 0, "score": float(seed % 7)}
+
+
+def canonical(trials):
+    return [json.dumps(t.canonical_json(), sort_keys=True) for t in trials]
+
+
+class TestParallelParity:
+    def test_trials_identical_to_serial(self):
+        grid = ParameterGrid(n=[48, 64], c=[2.0, 8.0])
+        serial = TrialRunner(dra_trial, master_seed=11).run(grid, trials=4)
+        parallel = ParallelTrialRunner(dra_trial, master_seed=11, jobs=4).run(
+            grid, trials=4)
+        assert canonical(parallel) == canonical(serial)
+
+    def test_store_records_byte_identical(self, tmp_path):
+        grid = ParameterGrid(n=[48], c=[2.0, 8.0])
+        serial_store = TrialStore(tmp_path / "serial.jsonl")
+        parallel_store = TrialStore(tmp_path / "parallel.jsonl")
+        TrialRunner(dra_trial, master_seed=7, store=serial_store).run(
+            grid, trials=4)
+        ParallelTrialRunner(dra_trial, master_seed=7, store=parallel_store,
+                            jobs=4).run(grid, trials=4)
+        assert canonical(serial_store.load()) == canonical(parallel_store.load())
+
+    def test_mapping_trials_supported(self):
+        grid = ParameterGrid(n=[8, 16])
+        serial = TrialRunner(mapping_trial, master_seed=3).run(grid, trials=5)
+        parallel = ParallelTrialRunner(mapping_trial, master_seed=3, jobs=3).run(
+            grid, trials=5)
+        assert canonical(parallel) == canonical(serial)
+
+    def test_jobs_one_degrades_to_serial_path(self):
+        grid = ParameterGrid(n=[8])
+        runner = ParallelTrialRunner(mapping_trial, master_seed=1, jobs=1)
+        trials = runner.run(grid, trials=3)
+        assert canonical(trials) == canonical(
+            TrialRunner(mapping_trial, master_seed=1).run(grid, trials=3))
+
+
+class TestParallelResume:
+    def test_resume_skips_stored_trials(self, tmp_path):
+        grid = ParameterGrid(n=[8, 16])
+        store = TrialStore(tmp_path / "resume.jsonl")
+        runner = ParallelTrialRunner(mapping_trial, master_seed=9, store=store,
+                                     jobs=2)
+        first = runner.run(grid, trials=4)
+        assert len(store) == 8
+        again = runner.run(grid, trials=4)
+        # No new records, same trials returned in the same order.
+        assert len(store) == 8
+        assert canonical(again) == canonical(first)
+
+    def test_partial_resume_completes_the_grid(self, tmp_path):
+        grid = ParameterGrid(n=[8, 16])
+        store = TrialStore(tmp_path / "partial.jsonl")
+        # Seed the store with a serial half-run (half the trials).
+        TrialRunner(mapping_trial, master_seed=9, store=store).run(
+            grid, trials=2)
+        assert len(store) == 4
+        full = ParallelTrialRunner(mapping_trial, master_seed=9, store=store,
+                                   jobs=2).run(grid, trials=4)
+        assert len(store) == 8
+        # The completed set matches a from-scratch serial run of the
+        # full grid: adding trials never changes earlier trials' seeds.
+        reference = TrialRunner(mapping_trial, master_seed=9).run(grid, trials=4)
+        assert canonical(full) == canonical(reference)
+
+    def test_progress_callback_fires_per_executed_trial(self, tmp_path):
+        grid = ParameterGrid(n=[8])
+        seen = []
+        ParallelTrialRunner(mapping_trial, master_seed=2, jobs=2).run(
+            grid, trials=4, progress=seen.append)
+        assert len(seen) == 4
+        assert [t.trial_index for t in seen] == [0, 1, 2, 3]
+
+
+class TestCanonicalJson:
+    def test_elapsed_excluded_everything_else_kept(self):
+        trials = TrialRunner(mapping_trial, master_seed=4).run(
+            ParameterGrid(n=[8]), trials=1)
+        data = trials[0].canonical_json()
+        assert "elapsed_s" not in data
+        assert set(data) == {"point", "trial_index", "seed", "success", "metrics"}
