@@ -1,0 +1,136 @@
+"""E15 — engine throughput: fast-py vs fast (array kernel) vs congest.
+
+Measures trials/sec for the step-level engines and the message-level
+simulator across the sweep sizes, and writes the series to
+``benchmarks/BENCH_engine_throughput.json`` so future PRs have a
+performance trajectory to compare against.
+
+Checks (shape, not absolute numbers):
+
+* the array kernel beats the pure-Python walker at every size;
+* at n=1024 the rotation-walk engine (DRA) clears the >= 5x bar the
+  array-native refactor was accepted on.
+
+Environment knobs (the CI perf-smoke step runs ``E15_SIZES=256``):
+
+* ``E15_SIZES`` — comma-separated node counts (default 256,1024,4096);
+* ``E15_CONGEST_MAX`` — largest n the congest engine is timed at
+  (default 256: it is ~3 orders of magnitude off the kernel's pace);
+* ``E15_DHC2_MAX`` — largest n DHC2 is timed at (default 1024: the
+  pure-Python oracle needs tens of seconds per trial above that).
+
+Points skipped by those caps are reported in the table (no silent
+truncation) and recorded as ``null`` in the JSON.
+
+With ``E15_SIZES`` overridden (a smoke run) the speedup assertions are
+skipped and the JSON is *not* rewritten: short timing windows on
+shared runners are too noisy to gate on, and a reduced-size payload
+must not clobber the committed full-sweep trajectory.
+"""
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import repro
+from repro.graphs import gnp_random_graph
+
+from benchmarks.conftest import show
+
+FULL_SWEEP = "E15_SIZES" not in os.environ
+SIZES = [int(s) for s in os.environ.get("E15_SIZES", "256,1024,4096").split(",")]
+CONGEST_MAX = int(os.environ.get("E15_CONGEST_MAX", "256"))
+DHC2_MAX = int(os.environ.get("E15_DHC2_MAX", "1024"))
+C = 8.0
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_engine_throughput.json"
+
+
+def _graph(algorithm: str, n: int, seed: int):
+    if algorithm == "dra":
+        p = min(1.0, C * math.log(n) / n)
+    else:  # dhc2: per-colour-class density at k ~ sqrt(n)
+        s = max(3, n // max(1, round(n ** 0.5)))
+        p = min(1.0, C * math.log(s) / s)
+    return gnp_random_graph(n, p, seed=seed)
+
+
+def _trials_for(engine: str, n: int) -> int:
+    if engine == "congest":
+        return 1
+    if engine == "fast-py" and n >= 4096:
+        return 1  # ~10 s/trial; one is enough for a rate
+    return 3
+
+
+def _throughput(algorithm: str, engine: str, n: int) -> float:
+    trials = _trials_for(engine, n)
+    kwargs = {"delta": 0.5} if algorithm == "dhc2" else {}
+    graphs = [_graph(algorithm, n, seed=s) for s in range(trials)]
+    # Warm up lazy imports / numpy dispatch so the first timed point
+    # does not carry one-time costs.
+    repro.run(_graph(algorithm, 64, seed=99), algorithm, engine=engine,
+              seed=99, **kwargs)
+    start = time.perf_counter()
+    for seed, g in enumerate(graphs):
+        repro.run(g, algorithm, engine=engine, seed=seed, **kwargs)
+    return trials / (time.perf_counter() - start)
+
+
+def test_e15_engine_throughput(benchmark):
+    series: dict[str, dict[str, dict[str, float | None]]] = {}
+    rows = []
+    for algorithm in ("dra", "dhc2"):
+        series[algorithm] = {}
+        for engine in ("fast", "fast-py", "congest"):
+            series[algorithm][engine] = {}
+            for n in SIZES:
+                skipped = ((engine == "congest" and n > CONGEST_MAX)
+                           or (algorithm == "dhc2" and n > DHC2_MAX))
+                tps = None if skipped else _throughput(algorithm, engine, n)
+                series[algorithm][engine][str(n)] = tps
+                rows.append((algorithm, engine, n,
+                             "skipped (cap)" if skipped else round(tps, 3)))
+    show("E15: engine throughput (trials/sec)",
+         ["algorithm", "engine", "n", "trials/sec"], rows)
+
+    speedups = {}
+    for algorithm, by_engine in series.items():
+        speedups[algorithm] = {}
+        for n in SIZES:
+            fast = by_engine["fast"][str(n)]
+            slow = by_engine["fast-py"][str(n)]
+            if fast is None or slow is None:
+                continue
+            speedups[algorithm][str(n)] = round(fast / slow, 2)
+    print(f"fast vs fast-py speedups: {speedups}")
+    if FULL_SWEEP:
+        # Timing gates only on the full local sweep — smoke runs on
+        # shared CI runners are completion checks, not perf gates.
+        for algorithm, by_n in speedups.items():
+            for n, ratio in by_n.items():
+                # The kernel must never lose to the walker it replaced.
+                assert ratio > 1.0, (algorithm, n, ratio)
+        # The acceptance bar of the array-native refactor: the
+        # rotation-walk engine at the headline sweep size.
+        assert speedups["dra"]["1024"] >= 5.0, speedups
+
+        payload = {
+            "experiment": "e15_engine_throughput",
+            "sizes": SIZES,
+            "c": C,
+            "congest_max": CONGEST_MAX,
+            "dhc2_max": DHC2_MAX,
+            "trials_per_sec": series,
+            "speedup_fast_vs_fast_py": speedups,
+        }
+        OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {OUT_PATH}")
+    else:
+        print(f"sizes overridden; skipped speedup gates and kept {OUT_PATH}")
+
+    benchmark.extra_info["series"] = series
+    benchmark.extra_info["speedups"] = speedups
+    benchmark.pedantic(_throughput, args=("dra", "fast", min(SIZES)),
+                       rounds=1, iterations=1)

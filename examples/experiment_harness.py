@@ -77,6 +77,8 @@ def main() -> None:
     print()
     print("The same sweep on 4 worker processes (fresh store) derives the")
     print("same seed tree, so every trial reproduces bit for bit:")
+    # chunksize auto-sizes from the sweep (amortising IPC for fast
+    # vectorised trials); any explicit value gives identical records.
     parallel = ParallelTrialRunner(trial, master_seed=42, jobs=4)
     ptrials = parallel.run(grid, trials=10)
     assert [t.canonical_json() for t in ptrials] == \

@@ -156,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1 = serial; seeds and "
                               "records are identical either way)")
+    sweep_p.add_argument("--chunksize", type=int, default=None,
+                         help="trials per worker IPC message (with --jobs; "
+                              "default auto-sizes from the sweep, 1 = "
+                              "one-task-per-message; results are identical "
+                              "for any value)")
     sweep_p.add_argument("--store", default=None, metavar="PATH",
                          help="JSONL trial store for resume: completed "
                               "trials are skipped on rerun")
@@ -318,6 +323,7 @@ def _cmd_sweep(args) -> int:
     runner_kwargs = {"master_seed": args.seed, "store": store}
     if args.jobs > 1:
         runner_kwargs["jobs"] = args.jobs
+        runner_kwargs["chunksize"] = args.chunksize
     runner = runner_cls(trial_fn, **runner_kwargs)
     trials = runner.run([{"n": n} for n in sizes], trials=args.trials)
 

@@ -4,10 +4,14 @@ Three ways to execute the library's algorithms:
 
 * the message-level CONGEST engine (:mod:`repro.congest`) — every
   message simulated, every model rule enforced;
-* the step-level fast engine (:mod:`repro.engines.fast`) — identical
-  algorithmic decisions and RNG streams, with rounds advanced by the
-  deterministic schedule the CONGEST protocol follows.  Used for
-  large-n scaling experiments; cross-validated by integration tests;
+* the step-level fast engine — identical algorithmic decisions and
+  RNG streams, with rounds advanced by the deterministic schedule the
+  CONGEST protocol follows.  Used for large-n scaling experiments;
+  cross-validated by integration tests.  Two implementations: the
+  array-native CSR kernel (:mod:`repro.engines.arraywalk`, engine
+  name ``fast``) and the pure-Python walker it replaced
+  (:mod:`repro.engines.fast`, kept one release as engine
+  ``fast-py``, the kernel's parity oracle);
 * the sequential engine (:mod:`repro.sequential`) — centralized
   solvers used as oracles and comparators.
 

@@ -18,6 +18,15 @@ the CONGEST protocol follows:
 Integration tests assert that, seed for seed, this engine and the
 CONGEST engine return the *same cycle, step count, and round count* —
 which is what licenses using it for the large-n benchmark sweeps.
+
+Two implementations share this contract.  ``engine="fast"`` runs on
+the array-native CSR kernel (:mod:`repro.engines.arraywalk`):
+dead-edge bitmask, int64 path/position arrays, vectorised tree
+timing.  ``engine="fast-py"`` is the original pure-Python walker
+below, kept for one release as the kernel's parity oracle (and for
+consumers such as ``benchmarks/bench_a1_bridge_ablation.py`` that
+ablate :class:`_FastWalk` internals); the two are decision-identical,
+enforced by ``tests/test_engine_parity.py``.
 """
 
 from __future__ import annotations
@@ -157,7 +166,47 @@ def _dra_fast(
     seed: int = 0,
     step_budget: int | None = None,
 ) -> RunResult:
-    """Algorithm 1 on the fast engine; see module docstring for fidelity."""
+    """Algorithm 1 on the array kernel; see module docstring for fidelity."""
+    from repro.engines.arraywalk import ArrayWalk, build_array_tree, edge_twins
+
+    n = graph.n
+    budget = step_budget if step_budget is not None else dra_step_budget(n)
+    seeds = np.random.SeedSequence(seed).spawn(n) if n else []
+    rngs = [np.random.default_rng(s) for s in seeds]
+
+    election_rounds = diameter_budget(n)
+    indptr, indices = graph.indptr, graph.indices
+    tree = build_array_tree(indptr, indices,
+                            np.arange(n, dtype=np.int64), root=0) if n else None
+    if tree is None:
+        deadline = election_rounds + 3 * diameter_budget(n) + 8
+        return RunResult("dra", False, None, deadline, engine="fast",
+                         detail={"fail_codes": ["bfs-unreachable"]})
+
+    walk = ArrayWalk(
+        indptr=indptr,
+        indices=indices,
+        twins=edge_twins(indptr, indices),
+        alive=np.ones(indices.size, dtype=bool),
+        rngs=rngs,
+        size=n,
+        initial_head=tree.root,
+        step_budget=budget,
+        tree_depth=max(1, tree.tree_depth),
+        start_round=tree.completion_round(election_rounds) + 1,
+    )
+    walk.run()
+    end_round = walk.end_round + tree.eccentricity(walk.flood_initiator)
+    return _dra_result(graph, walk, end_round, engine="fast")
+
+
+def _dra_fast_py(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    step_budget: int | None = None,
+) -> RunResult:
+    """Algorithm 1 on the pure-Python walker (the kernel's parity oracle)."""
     n = graph.n
     budget = step_budget if step_budget is not None else dra_step_budget(n)
     seeds = np.random.SeedSequence(seed).spawn(n) if n else []
@@ -168,7 +217,7 @@ def _dra_fast(
     tree = build_min_id_bfs_tree(members, graph.neighbor_list, root=0) if n else None
     if tree is None:
         deadline = election_rounds + 3 * diameter_budget(n) + 8
-        return RunResult("dra", False, None, deadline, engine="fast",
+        return RunResult("dra", False, None, deadline, engine="fast-py",
                          detail={"fail_codes": ["bfs-unreachable"]})
 
     finish = bfs_completion_round(tree, graph.neighbor_list, election_rounds)
@@ -183,7 +232,11 @@ def _dra_fast(
     )
     walk.run()
     end_round = walk.end_round + tree.eccentricity(walk.flood_initiator)
+    return _dra_result(graph, walk, end_round, engine="fast-py")
 
+
+def _dra_result(graph: Graph, walk, end_round: int, *, engine: str) -> RunResult:
+    """Shared verification + RunResult assembly for both DRA walkers."""
     cycle = None
     ok = walk.success
     if ok:
@@ -198,7 +251,7 @@ def _dra_fast(
         cycle=cycle,
         rounds=end_round,
         steps=walk.steps,
-        engine="fast",
+        engine=engine,
         detail={"fail_codes": [walk.fail_code] if walk.fail_code else [],
                 "rotations": walk.rotations, "extensions": walk.extensions,
                 "retries": walk.retries},

@@ -13,6 +13,12 @@ rebuild, each a small multiple of the class diameter), since the
 event-driven CONGEST implementation's exact timing depends on queue
 pacing.  Cross-engine tests bound the ratio; scaling *shape* (the
 ``n**delta`` exponent of Theorem 10) is unaffected.
+
+``engine="fast"`` replays Phase 1 on the array kernel
+(:mod:`repro.engines.arraywalk`) over a colour-filtered CSR built in
+one vectorised pass; ``engine="fast-py"`` keeps the pure-Python
+walker as the parity oracle.  Phase 2 is deterministic and shared
+verbatim by both.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from repro.core.dhc2 import default_color_count
 from repro.core.phase1 import color_at_level, colors_at_level, merge_levels
 from repro.engines.fast import _FastWalk, bfs_completion_round, build_min_id_bfs_tree
 from repro.engines.results import RunResult
-from repro.graphs.adjacency import Graph
+from repro.graphs.adjacency import Graph, csr_sources
 from repro.verify.hamiltonicity import CycleViolation, verify_cycle
 
 __all__ = ["run_dhc2_fast"]
@@ -60,7 +66,77 @@ def _dhc2_fast(
     k: int | None = None,
     seed: int = 0,
 ) -> RunResult:
-    """Algorithm 3 on the fast engine (see module docstring for fidelity)."""
+    """Algorithm 3 with Phase 1 on the array kernel."""
+    from repro.engines.arraywalk import (
+        ArrayWalk,
+        build_array_tree,
+        edge_twins,
+        filtered_csr,
+    )
+
+    n = graph.n
+    colors = k if k is not None else default_color_count(n, delta)
+    seeds = np.random.SeedSequence(seed).spawn(n) if n else []
+    rngs = [np.random.default_rng(s) for s in seeds]
+
+    color_of = np.array([1 + int(rngs[v].integers(colors)) for v in range(n)], dtype=np.int64)
+
+    # Same-colour CSR in one vectorised pass: colour classes partition
+    # the nodes, so the filtered CSR is member-closed per class and one
+    # shared dead-edge mask serves every partition walk.
+    indptr, indices = graph.indptr, graph.indices
+    src = csr_sources(indptr)
+    sub_indptr, sub_indices = filtered_csr(
+        indptr, indices, color_of[src] == color_of[indices])
+    twins = edge_twins(sub_indptr, sub_indices)
+    alive = np.ones(sub_indices.size, dtype=bool)
+
+    # -- Phase 1: replay every partition walk ------------------------------------
+    elect_budget = diameter_budget(max(3, (2 * n) // max(1, colors)))
+    phase1_start = 1 + elect_budget  # colour round + election deadline
+    cycles: dict[int, list[int]] = {}
+    steps = 0
+    phase1_end = phase1_start
+    for c in range(1, colors + 1):
+        members = np.flatnonzero(color_of == c)
+        if members.size == 0:
+            return _fail(n, colors, phase1_start, "empty-partition", "fast")
+        tree = build_array_tree(sub_indptr, sub_indices, members,
+                                root=int(members[0]))
+        if tree is None:
+            return _fail(n, colors, phase1_start, "partition-disconnected",
+                         "fast")
+        walk = ArrayWalk(
+            indptr=sub_indptr,
+            indices=sub_indices,
+            twins=twins,
+            alive=alive,
+            rngs=rngs,
+            size=members.size,
+            initial_head=tree.root,
+            step_budget=dra_step_budget(members.size),
+            tree_depth=max(1, tree.tree_depth),
+            start_round=tree.completion_round(phase1_start) + 1,
+        )
+        walk.run()
+        steps = max(steps, walk.steps)
+        if not walk.success:
+            return _fail(n, colors, walk.end_round, f"walk-{walk.fail_code}",
+                         "fast")
+        cycles[c] = walk.cycle()
+        phase1_end = max(phase1_end, walk.end_round + tree.eccentricity(walk.flood_initiator))
+
+    return _phase2(graph, cycles, colors, phase1_end, steps, "fast")
+
+
+def _dhc2_fast_py(
+    graph: Graph,
+    *,
+    delta: float = 0.5,
+    k: int | None = None,
+    seed: int = 0,
+) -> RunResult:
+    """Algorithm 3 on the pure-Python walker (the kernel's parity oracle)."""
     n = graph.n
     colors = k if k is not None else default_color_count(n, delta)
     seeds = np.random.SeedSequence(seed).spawn(n) if n else []
@@ -82,10 +158,11 @@ def _dhc2_fast(
     phase1_end = phase1_start
     for c, members in classes.items():
         if not members:
-            return _fail(n, colors, phase1_start, "empty-partition")
+            return _fail(n, colors, phase1_start, "empty-partition", "fast-py")
         tree = build_min_id_bfs_tree(members, same_color_neighbors, root=min(members))
         if tree is None:
-            return _fail(n, colors, phase1_start, "partition-disconnected")
+            return _fail(n, colors, phase1_start, "partition-disconnected",
+                         "fast-py")
         finish = bfs_completion_round(tree, same_color_neighbors, phase1_start)
         walk = _FastWalk(
             size=len(members),
@@ -99,14 +176,21 @@ def _dhc2_fast(
         walk.run()
         steps = max(steps, walk.steps)
         if not walk.success:
-            return _fail(n, colors, walk.end_round, f"walk-{walk.fail_code}")
+            return _fail(n, colors, walk.end_round, f"walk-{walk.fail_code}",
+                         "fast-py")
         cycles[c] = walk.cycle()
         phase1_end = max(phase1_end, walk.end_round + tree.eccentricity(walk.flood_initiator))
 
-    # -- Phase 2: deterministic merges --------------------------------------------
+    return _phase2(graph, cycles, colors, phase1_end, steps, "fast-py")
+
+
+def _phase2(graph: Graph, cycles: dict[int, list[int]], colors: int,
+            phase1_end: int, steps: int, engine: str) -> RunResult:
+    """Phase 2: deterministic merges (identical for both Phase-1 paths)."""
+    n = graph.n
     rounds = phase1_end
     levels = merge_levels(colors)
-    adjacency_check = graph.has_edge
+    keys = _edge_keys(graph)  # shared by every vectorised bridge scan
     for level in range(1, levels + 1):
         remaining = colors_at_level(colors, level)
         next_cycles: dict[int, list[int]] = {}
@@ -116,15 +200,15 @@ def _dhc2_fast(
             a_members = cycles.get(a_color)
             if b_color > remaining:
                 if a_members is None:
-                    return _fail(n, colors, rounds, "missing-class")
+                    return _fail(n, colors, rounds, "missing-class", engine)
                 next_cycles[new_color] = a_members
                 continue
             b_members = cycles.get(b_color)
             if a_members is None or b_members is None:
-                return _fail(n, colors, rounds, "missing-class")
-            merged = _merge_pair(graph, a_members, b_members, adjacency_check)
+                return _fail(n, colors, rounds, "missing-class", engine)
+            merged = _merge_pair_vec(graph, a_members, b_members, keys)
             if merged is None:
-                return _fail(n, colors, rounds, "no-bridge")
+                return _fail(n, colors, rounds, "no-bridge", engine)
             next_cycles[new_color] = merged
             rounds += _level_cost(len(merged))
         cycles = next_cycles
@@ -146,7 +230,7 @@ def _dhc2_fast(
         cycle=final if ok else None,
         rounds=rounds,
         steps=steps,
-        engine="fast",
+        engine=engine,
         detail={"k": colors, "levels": levels},
     )
 
@@ -164,7 +248,98 @@ def _merge_pair(graph: Graph, a_cycle: list[int], b_cycle: list[int], has_edge):
     (with successor ``u``), each partner-colour neighbour ``w`` answers
     with ``w' = succ(w)`` preferred over ``pred(w)``; ``v`` keeps the
     smallest ``w``; the winner is the smallest ``(v, w)``.
+
+    With the graph's own adjacency test (the normal case) the candidate
+    scan runs vectorised over the CSR; a caller-supplied ``has_edge``
+    (e.g. an ablated rule) takes the reference Python path.
     """
+    if has_edge == graph.has_edge:
+        return _merge_pair_vec(graph, a_cycle, b_cycle)
+    return _merge_pair_py(graph, a_cycle, b_cycle, has_edge)
+
+
+def _edge_keys(graph: Graph) -> np.ndarray:
+    """Sorted ``src * n + dst`` keys of the directed edges (CSR order)."""
+    return csr_sources(graph.indptr) * graph.n + graph.indices
+
+
+def _merge_pair_vec(graph: Graph, a_cycle: list[int], b_cycle: list[int],
+                    keys: np.ndarray | None = None):
+    """Vectorised bridge selection: one masked scan over A's CSR rows.
+
+    The winner is the lexicographically smallest valid ``(v, w)`` with
+    ``w' = succ(w)`` preferred at that pair — exactly the selection the
+    per-node Python loop makes, so both produce the same splice.
+    """
+    from repro.engines.arraywalk import gather_neighbors
+
+    n = graph.n
+    s_a, s_b = len(a_cycle), len(b_cycle)
+    a_arr = np.asarray(a_cycle, dtype=np.int64)
+    b_arr = np.asarray(b_cycle, dtype=np.int64)
+    a_pos = np.empty(n, dtype=np.int64)
+    a_pos[a_arr] = np.arange(s_a, dtype=np.int64)
+    succ_a = np.empty(n, dtype=np.int64)
+    succ_a[a_arr] = np.roll(a_arr, -1)
+    in_b = np.zeros(n, dtype=bool)
+    in_b[b_arr] = True
+    b_pos = np.empty(n, dtype=np.int64)
+    b_pos[b_arr] = np.arange(s_b, dtype=np.int64)
+    b_succ = np.empty(n, dtype=np.int64)
+    b_succ[b_arr] = np.roll(b_arr, -1)
+    b_pred = np.empty(n, dtype=np.int64)
+    b_pred[b_arr] = np.roll(b_arr, 1)
+
+    # Directed candidate edges v -> w with v in A, w in B.
+    indptr, indices = graph.indptr, graph.indices
+    counts = indptr[a_arr + 1] - indptr[a_arr]
+    v_e = np.repeat(a_arr, counts)
+    w_e = gather_neighbors(indptr, indices, a_arr)
+    keep = in_b[w_e]
+    v_e, w_e = v_e[keep], w_e[keep]
+    if v_e.size == 0:
+        return None
+
+    # Pair-membership tests u—w' as one searchsorted over the sorted
+    # directed-edge key array (CSR order is (src, dst)-sorted already).
+    if keys is None:
+        keys = _edge_keys(graph)
+    u_e = succ_a[v_e] * n
+    present = _pairs_present(
+        keys, np.concatenate((u_e + b_succ[w_e], u_e + b_pred[w_e])))
+    ok_succ, ok_pred = present[:v_e.size], present[v_e.size:]
+    valid = ok_succ | ok_pred
+    if not valid.any():
+        return None
+    v_e, w_e, ok_succ = v_e[valid], w_e[valid], ok_succ[valid]
+    at_v = v_e == v_e.min()
+    w_at_v = w_e[at_v]
+    j = int(np.argmin(w_at_v))
+    v, w = int(v_e[at_v][j]), int(w_at_v[j])
+    direction = 0 if bool(ok_succ[at_v][j]) else 1
+
+    w_pos = int(b_pos[w])
+    if direction == 0:  # w' = succ(w): walk B backwards from w
+        b_seq = b_arr[(w_pos - np.arange(s_b, dtype=np.int64)) % s_b]
+    else:  # w' = pred(w): keep B's orientation
+        b_seq = np.roll(b_arr, -w_pos)
+    u_pos = (int(a_pos[v]) + 1) % s_a
+    a_seq = np.roll(a_arr, -u_pos)  # u ... v
+    return np.concatenate((b_seq, a_seq)).tolist()  # w ... w', u ... v
+
+
+def _pairs_present(sorted_keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Whether each query key appears in the sorted key array."""
+    if sorted_keys.size == 0:
+        return np.zeros(queries.shape, dtype=bool)
+    slots = np.searchsorted(sorted_keys, queries)
+    slots[slots == sorted_keys.size] = 0  # any in-range slot; compared next
+    return sorted_keys[slots] == queries
+
+
+def _merge_pair_py(graph: Graph, a_cycle: list[int], b_cycle: list[int],
+                   has_edge):
+    """Reference per-node scan, kept for ablations with a custom rule."""
     s_a, s_b = len(a_cycle), len(b_cycle)
     b_pos = {v: i for i, v in enumerate(b_cycle)}
     b_set = set(b_cycle)
@@ -202,12 +377,13 @@ def _merge_pair(graph: Graph, a_cycle: list[int], b_cycle: list[int], has_edge):
     return b_seq + a_seq  # w ... w' , u ... v  (closes v -> w)
 
 
-def _fail(n: int, colors: int, rounds: int, reason: str) -> RunResult:
+def _fail(n: int, colors: int, rounds: int, reason: str,
+          engine: str = "fast") -> RunResult:
     return RunResult(
         algorithm="dhc2",
         success=False,
         cycle=None,
         rounds=rounds,
-        engine="fast",
+        engine=engine,
         detail={"k": colors, "levels": merge_levels(colors), "fail": reason},
     )

@@ -42,7 +42,11 @@ def _builtin_specs() -> list[EngineSpec]:
         EngineSpec("dra", "fast", "repro.engines.fast:_dra_fast",
                    supported_kwargs=("step_budget",),
                    parity=("cycle", "steps", "rounds"),
-                   summary="Algorithm 1, step-level replay (exact rounds)"),
+                   summary="Algorithm 1, step-level replay on the array kernel"),
+        EngineSpec("dra", "fast-py", "repro.engines.fast:_dra_fast_py",
+                   supported_kwargs=("step_budget",),
+                   parity=("cycle", "steps", "rounds"),
+                   summary="Algorithm 1, pure-Python replay (parity oracle)"),
         EngineSpec("dhc1", "congest", "repro.core:run_dhc1",
                    supported_kwargs=("k", *_CONGEST_COMMON),
                    kmachine_convertible=True, audits_memory=True,
@@ -54,7 +58,11 @@ def _builtin_specs() -> list[EngineSpec]:
         EngineSpec("dhc2", "fast", "repro.engines.fast_dhc2:_dhc2_fast",
                    supported_kwargs=("delta", "k"),
                    parity=("cycle", "steps"),
-                   summary="Algorithm 3, step-level replay (estimated rounds)"),
+                   summary="Algorithm 3, step-level replay on the array kernel"),
+        EngineSpec("dhc2", "fast-py", "repro.engines.fast_dhc2:_dhc2_fast_py",
+                   supported_kwargs=("delta", "k"),
+                   parity=("cycle", "steps"),
+                   summary="Algorithm 3, pure-Python replay (parity oracle)"),
         # -- the paper's centralized algorithms --------------------------------
         EngineSpec("upcast", "congest", "repro.core:run_upcast",
                    supported_kwargs=("c_prime", "solver_restarts",

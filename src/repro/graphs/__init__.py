@@ -10,7 +10,7 @@ Public surface:
   analysis backing experiment E11.
 """
 
-from repro.graphs.adjacency import Graph
+from repro.graphs.adjacency import Graph, csr_gather
 from repro.graphs.chung_lu import chung_lu_graph, power_law_weights
 from repro.graphs.gnm import gnm_random_graph
 from repro.graphs.gnp import gnp_random_graph, hamiltonicity_threshold, paper_probability
@@ -29,6 +29,7 @@ from repro.graphs.regular import random_regular_graph
 
 __all__ = [
     "Graph",
+    "csr_gather",
     "gnp_random_graph",
     "paper_probability",
     "hamiltonicity_threshold",

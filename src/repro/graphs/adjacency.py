@@ -19,7 +19,31 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "csr_gather", "csr_sources"]
+
+
+def csr_sources(indptr: np.ndarray) -> np.ndarray:
+    """Source node of every directed CSR entry (parallel to ``indices``)."""
+    return np.repeat(np.arange(len(indptr) - 1, dtype=np.int64),
+                     np.diff(indptr))
+
+
+def csr_gather(indptr: np.ndarray, indices: np.ndarray,
+               nodes: np.ndarray) -> np.ndarray:
+    """Concatenated CSR row slices of ``nodes`` (a multi-row gather).
+
+    Equivalent to ``np.concatenate([indices[indptr[v]:indptr[v+1]]
+    for v in nodes])`` without the per-row Python loop; the workhorse
+    of the vectorised BFS and walk kernels.
+    """
+    counts = indptr[nodes + 1] - indptr[nodes]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype)
+    # Per-block arange: global arange minus each block's start offset.
+    block_starts = np.repeat(np.cumsum(counts) - counts, counts)
+    flat = np.repeat(indptr[nodes], counts) + (np.arange(total) - block_starts)
+    return indices[flat]
 
 
 class Graph:
@@ -99,6 +123,26 @@ class Graph:
         """Number of undirected edges."""
         return self._m
 
+    @property
+    def indptr(self) -> np.ndarray:
+        """Raw CSR row-pointer array (length ``n + 1``, read-only).
+
+        ``indices[indptr[v]:indptr[v + 1]]`` is the sorted neighbour
+        slice of ``v``.  Exposed for array-native kernels
+        (:mod:`repro.engines.arraywalk`) that operate on the CSR buffers
+        directly instead of going through per-node accessors.
+        """
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Raw CSR column-index array (length ``2 m``, read-only).
+
+        One directed entry per edge orientation; each row slice is
+        sorted ascending.  See :attr:`indptr`.
+        """
+        return self._indices
+
     def nodes(self) -> range:
         """The node ids, ``0 .. n-1``."""
         return range(self._n)
@@ -136,7 +180,7 @@ class Graph:
 
     def edge_array(self) -> np.ndarray:
         """All edges as an ``(m, 2)`` array with ``u < v`` per row."""
-        src = np.repeat(np.arange(self._n, dtype=np.int64), self.degrees())
+        src = csr_sources(self._indptr)
         mask = src < self._indices
         return np.column_stack((src[mask], self._indices[mask]))
 
@@ -148,20 +192,20 @@ class Graph:
         Returns the subgraph (relabelled to ``0 .. len(nodes)-1`` in the
         order given) and the mapping from original id to new id.
         """
-        node_list = list(nodes)
+        node_list = [int(v) for v in nodes]
         mapping = {v: i for i, v in enumerate(node_list)}
         if len(mapping) != len(node_list):
             raise ValueError("duplicate node in subgraph selection")
-        pairs = []
-        member = mapping
-        for u in node_list:
-            mu = member[u]
-            for v in self.neighbors(u):
-                mv = member.get(int(v))
-                if mv is not None and mu < mv:
-                    pairs.append((mu, mv))
-        edge_arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
-        sub = Graph.from_sorted_pairs(len(node_list), edge_arr[:, 0], edge_arr[:, 1])
+        # Membership mask over the (u < v) edge array: one vectorised
+        # pass instead of a per-node Python pair loop.
+        new_id = np.full(self._n, -1, dtype=np.int64)
+        new_id[node_list] = np.arange(len(node_list), dtype=np.int64)
+        edge_arr = self.edge_array()
+        mu, mv = new_id[edge_arr[:, 0]], new_id[edge_arr[:, 1]]
+        keep = (mu >= 0) & (mv >= 0)
+        mu, mv = mu[keep], mv[keep]
+        sub = Graph.from_sorted_pairs(
+            len(node_list), np.minimum(mu, mv), np.maximum(mu, mv))
         return sub, mapping
 
     # -- dunder ---------------------------------------------------------------

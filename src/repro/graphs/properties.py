@@ -21,7 +21,7 @@ import math
 
 import numpy as np
 
-from repro.graphs.adjacency import Graph
+from repro.graphs.adjacency import Graph, csr_gather
 
 __all__ = [
     "bfs_distances",
@@ -43,15 +43,11 @@ def bfs_distances(graph: Graph, source: int) -> np.ndarray:
     dist = np.full(graph.n, -1, dtype=np.int64)
     dist[source] = 0
     frontier = np.asarray([source], dtype=np.int64)
-    indptr, indices = graph._indptr, graph._indices  # noqa: SLF001 — hot path
+    indptr, indices = graph.indptr, graph.indices
     level = 0
     while frontier.size:
         level += 1
-        starts, stops = indptr[frontier], indptr[frontier + 1]
-        chunks = [indices[a:b] for a, b in zip(starts, stops)]
-        if not chunks:
-            break
-        neighbours = np.concatenate(chunks)
+        neighbours = csr_gather(indptr, indices, frontier)
         fresh = neighbours[dist[neighbours] == -1]
         if fresh.size == 0:
             break

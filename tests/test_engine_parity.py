@@ -1,0 +1,154 @@
+"""Seed-for-seed parity: the array kernel vs the pure-Python walker.
+
+The ``fast`` engine (array kernel, :mod:`repro.engines.arraywalk`) and
+``fast-py`` (the original Python walker, kept as the parity oracle)
+must make *identical decisions*: same RNG draws in the same order, so
+same success flag, cycle, steps, rounds, and failure codes — across
+graph models, sizes, and densities, on successes and failures alike.
+
+The kernel's tree helpers are also checked structurally against the
+Python originals, since round accounting flows through them.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro.engines.arraywalk import build_array_tree, edge_twins, gather_neighbors
+from repro.engines.fast import bfs_completion_round, build_min_id_bfs_tree
+from repro.graphs import (
+    gnm_random_graph,
+    gnp_random_graph,
+    random_regular_graph,
+)
+
+SIZES = [16, 64, 256]
+MODELS = ["gnp", "gnm", "regular"]
+
+
+def sample(model: str, n: int, factor: float, seed: int):
+    """One graph per (model, n) in the paper's density parameterisation."""
+    p = min(1.0, factor * math.log(n) / n)
+    if model == "gnp":
+        return gnp_random_graph(n, p, seed=seed)
+    m = round(p * n * (n - 1) / 2)
+    if model == "gnm":
+        return gnm_random_graph(n, m, seed=seed)
+    # Cap at the pairing model's practical range (cf. the CLI guard).
+    degree = min(max(3, round(p * (n - 1))), n // 2)
+    if (n * degree) % 2:
+        degree += 1
+    return random_regular_graph(n, degree, seed=seed)
+
+
+def assert_parity(kernel, oracle, context: str, *, detail_keys=()):
+    assert kernel.success == oracle.success, context
+    assert kernel.cycle == oracle.cycle, context
+    assert kernel.steps == oracle.steps, context
+    assert kernel.rounds == oracle.rounds, context
+    for key in detail_keys:
+        assert kernel.detail.get(key) == oracle.detail.get(key), (
+            f"{context}: detail[{key!r}]")
+
+
+class TestDraParity:
+    """Algorithm 1: dense graphs succeed, sparse ones fail — both must match."""
+
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("factor", [1.0, 8.0])
+    def test_grid(self, model, n, factor):
+        for seed in (1, 7):
+            g = sample(model, n, factor, seed)
+            kernel = repro.run(g, "dra", engine="fast", seed=seed)
+            oracle = repro.run(g, "dra", engine="fast-py", seed=seed)
+            assert_parity(
+                kernel, oracle, f"dra {model} n={n} factor={factor} seed={seed}",
+                detail_keys=("fail_codes", "rotations", "extensions", "retries"))
+            assert kernel.engine == "fast" and oracle.engine == "fast-py"
+
+    def test_step_budget_failure_matches(self):
+        g = sample("gnp", 64, 8.0, seed=3)
+        kernel = repro.run(g, "dra", engine="fast", seed=3, step_budget=5)
+        oracle = repro.run(g, "dra", engine="fast-py", seed=3, step_budget=5)
+        assert not kernel.success
+        assert_parity(kernel, oracle, "dra budget", detail_keys=("fail_codes",))
+
+
+class TestDhc2Parity:
+    """Algorithm 3: partition walks + deterministic merges."""
+
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("n", SIZES)
+    def test_grid(self, model, n):
+        # Dense enough that each of the k colour classes is in the
+        # walk's working regime at the larger sizes; the sparse small
+        # cases exercise the failure paths.
+        k = 4
+        s = max(3, n // k)
+        factor = 8.0 * n / s  # p = 8 ln(n)/s-ish: per-class density
+        for seed in (1, 7):
+            g = sample(model, n, factor, seed)
+            kernel = repro.run(g, "dhc2", engine="fast", k=k, seed=seed)
+            oracle = repro.run(g, "dhc2", engine="fast-py", k=k, seed=seed)
+            assert_parity(kernel, oracle,
+                          f"dhc2 {model} n={n} seed={seed}",
+                          detail_keys=("fail", "k", "levels"))
+
+    def test_sparse_failure_codes_match(self):
+        for seed in (2, 9):
+            g = sample("gnp", 64, 1.0, seed)
+            kernel = repro.run(g, "dhc2", engine="fast", k=8, seed=seed)
+            oracle = repro.run(g, "dhc2", engine="fast-py", k=8, seed=seed)
+            assert_parity(kernel, oracle, f"dhc2 sparse seed={seed}",
+                          detail_keys=("fail",))
+
+
+class TestTreeHelpers:
+    """The kernel's vectorised tree math vs the Python originals."""
+
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_tree_and_timing_match(self, n, seed):
+        g = sample("gnp", n, 4.0, seed)
+        members = list(range(n))
+        py = build_min_id_bfs_tree(members, g.neighbor_list, root=0)
+        arr = build_array_tree(g.indptr, g.indices,
+                               np.arange(n, dtype=np.int64), root=0)
+        if py is None:
+            assert arr is None
+            return
+        assert arr is not None
+        assert arr.tree_depth == py.tree_depth
+        assert [int(arr.depth[v]) for v in members] == [py.depth[v] for v in members]
+        assert [int(arr.parent[v]) for v in members] == [py.parent[v] for v in members]
+        start = 17
+        assert arr.completion_round(start) == bfs_completion_round(
+            py, g.neighbor_list, start)
+        for v in (0, n // 2, n - 1):
+            assert arr.eccentricity(v) == py.eccentricity(v)
+
+    def test_unreachable_returns_none(self):
+        g = repro.Graph(4, [(0, 1), (2, 3)])
+        assert build_array_tree(g.indptr, g.indices,
+                                np.arange(4, dtype=np.int64), root=0) is None
+
+
+class TestCsrHelpers:
+    def test_gather_neighbors_matches_slices(self):
+        g = sample("gnp", 64, 4.0, seed=5)
+        nodes = np.array([3, 17, 17, 60], dtype=np.int64)
+        expected = np.concatenate([g.neighbors(int(v)) for v in nodes])
+        assert np.array_equal(
+            gather_neighbors(g.indptr, g.indices, nodes), expected)
+
+    def test_edge_twins_is_reverse_involution(self):
+        g = sample("gnm", 32, 4.0, seed=2)
+        twins = edge_twins(g.indptr, g.indices)
+        src = np.repeat(np.arange(g.n, dtype=np.int64), g.degrees())
+        dst = g.indices
+        assert np.array_equal(src[twins], dst)
+        assert np.array_equal(dst[twins], src)
+        assert np.array_equal(twins[twins], np.arange(twins.size))

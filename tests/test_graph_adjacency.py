@@ -95,6 +95,54 @@ class TestSubgraph:
         with pytest.raises(ValueError, match="duplicate"):
             ring(4).subgraph([0, 0])
 
+    def test_unordered_selection_relabels_in_given_order(self):
+        # The mapping follows the order given, not node-id order; the
+        # vectorised membership pass must preserve that contract.
+        g = ring(6)
+        sub, mapping = g.subgraph([4, 3, 5])
+        assert mapping == {4: 0, 3: 1, 5: 2}
+        assert sub.m == 2  # (3,4) and (4,5) survive
+        assert sub.has_edge(0, 1) and sub.has_edge(0, 2)
+
+    def test_empty_selection(self):
+        sub, mapping = ring(4).subgraph([])
+        assert sub.n == 0 and sub.m == 0 and mapping == {}
+
+    @given(
+        n=st.integers(2, 20),
+        edges=st.lists(
+            st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60),
+        pick=st.lists(st.integers(0, 19), unique=True, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_matches_pairwise_definition(self, n, edges, pick):
+        clean = [(a % n, b % n) for a, b in edges if a % n != b % n]
+        g = Graph(n, clean)
+        nodes = [v % n for v in pick if v % n < n]
+        nodes = list(dict.fromkeys(nodes))
+        sub, mapping = g.subgraph(nodes)
+        assert sub.n == len(nodes)
+        for i, u in enumerate(nodes):
+            for j, v in enumerate(nodes):
+                assert sub.has_edge(i, j) == g.has_edge(u, v)
+
+
+class TestCsrViews:
+    def test_indptr_indices_define_neighbor_slices(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        indptr, indices = g.indptr, g.indices
+        assert indptr.shape == (g.n + 1,)
+        assert indices.shape == (2 * g.m,)
+        for v in g.nodes():
+            row = indices[indptr[v]:indptr[v + 1]]
+            assert np.array_equal(row, g.neighbors(v))
+
+    def test_rows_sorted_ascending(self):
+        g = complete(6)
+        for v in g.nodes():
+            row = g.indices[g.indptr[v]:g.indptr[v + 1]]
+            assert np.all(np.diff(row) > 0)
+
 
 @given(
     n=st.integers(2, 25),
