@@ -6,11 +6,15 @@ counts how many bridge candidates exist per merge pair — showing the
 selection rule has plenty of slack (Lemma 8's "many bridges" claim) —
 and verifies that an adversarially different rule (max instead of min)
 still merges successfully, i.e. the rule affects determinism only.
+
+The level-1 partition cycles are captured straight off the array
+kernel via :func:`repro.engines.arraywalk.observe_walks` while the
+normal ``repro.run`` dispatch executes — no hand re-derivation of
+colour classes or walk replays.
 """
 
-import math
-
 import repro
+from repro.engines.arraywalk import observe_walks
 from repro.engines.fast_dhc2 import _merge_pair
 from repro.graphs import gnp_random_graph, paper_probability
 
@@ -38,35 +42,21 @@ def test_a1_bridge_selection_ablation(benchmark):
     n, delta, c = 512, 0.5, 8.0
     p = paper_probability(n, delta, c)
     g = gnp_random_graph(n, p, seed=41)
-    res = repro.run(g, "dhc2", engine="fast", delta=delta, seed=42)
-    assert res.success
 
-    # Re-derive the level-1 cycles to count available bridges per pair.
-    import numpy as np
-    from repro.analysis.bounds import dra_step_budget
-    from repro.engines.fast import _FastWalk, build_min_id_bfs_tree
-
-    seeds = np.random.SeedSequence(42).spawn(n)
-    rngs = [np.random.default_rng(s) for s in seeds]
-    k = res.detail["k"]
-    colors = [1 + int(rngs[v].integers(k)) for v in range(n)]
-    classes = {}
-    for v, col in enumerate(colors):
-        classes.setdefault(col, []).append(v)
-
-    def nbrs(v):
-        return [int(w) for w in g.neighbors(v) if colors[w] == colors[v]]
-
+    # The kernel runs DHC2's Phase-1 walks in colour order 1..K; the
+    # observer snapshots each partition cycle as it completes.
     cycles = {}
-    for col, members in classes.items():
-        tree = build_min_id_bfs_tree(members, nbrs, root=min(members))
-        walk = _FastWalk(size=len(members), edges_of=lambda v: [(w, 0, 0) for w in nbrs(v)],
-                         rngs=rngs, initial_head=tree.root,
-                         step_budget=dra_step_budget(len(members)),
-                         tree_depth=max(1, tree.tree_depth), start_round=0)
-        walk.run()
+
+    def capture(walk):
         assert walk.success
-        cycles[col] = walk.cycle()
+        cycles[len(cycles) + 1] = walk.cycle()
+
+    with observe_walks(capture):
+        res = repro.run(g, "dhc2", engine="fast", delta=delta, seed=42)
+    assert res.success
+    k = res.detail["k"]
+    assert len(cycles) == k
+    assert sum(len(cyc) for cyc in cycles.values()) == n
 
     rows = []
     for a in range(1, k, 2):

@@ -5,29 +5,41 @@ The paper's theorems hold for large constants (c >= 86 in Theorem 2!);
 this experiment maps where success actually turns on, and that success
 rates improve with n at fixed super-threshold c — the observable
 content of "with high probability".
+
+The Monte Carlo loop runs through the harness orchestration layer
+(``benchmarks.conftest.harness_sweep``): seeds derive from the
+deterministic (master seed, point #, trial #) tree, and each trial
+samples its graph and runs DRA from that one seed.
 """
 
 import math
 
 import repro
 from repro.graphs import gnp_random_graph
+from repro.harness import group_by, success_rate
 
-from benchmarks.conftest import show
+from benchmarks.conftest import harness_sweep, show
 
 TRIALS = 20
 
 
-def _rate(n: int, c: float, trials: int = TRIALS) -> float:
-    wins = 0
-    for s in range(trials):
-        p = min(1.0, c * math.log(n) / n)
-        g = gnp_random_graph(n, p, seed=5000 + 97 * s + n)
-        wins += repro.run(g, "dra", engine="fast", seed=6000 + s).success
-    return wins / trials
+def dra_trial(point, seed):
+    """One seeded trial (module-level: usable by pool workers too)."""
+    p = min(1.0, point["c"] * math.log(point["n"]) / point["n"])
+    g = gnp_random_graph(point["n"], p, seed=seed)
+    return repro.run(g, "dra", engine="fast", seed=seed)
+
+
+def _rates(points, trials, key):
+    trials_out = harness_sweep(dra_trial, points, trials=trials,
+                               master_seed=560)
+    return [(value, success_rate(bucket))
+            for value, bucket in group_by(trials_out, key).items()]
 
 
 def test_e06_success_probability(benchmark):
-    rows_c = [(c, _rate(256, c)) for c in (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)]
+    rows_c = _rates([{"n": 256, "c": c}
+                     for c in (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)], TRIALS, "c")
     show("E6a: DRA success rate vs density constant c (n=256, 20 trials)",
          ["c", "success_rate"], rows_c)
     rates = dict(rows_c)
@@ -35,9 +47,12 @@ def test_e06_success_probability(benchmark):
     assert rates[8.0] >= 0.95        # comfortably dense: near-certain
     assert rates[8.0] >= rates[2.0]  # monotone trend
 
-    rows_n = [(n, _rate(n, 6.0, trials=12)) for n in (64, 128, 256, 512)]
+    rows_n = _rates([{"n": n, "c": 6.0}
+                     for n in (64, 128, 256, 512)], 12, "n")
     show("E6b: DRA success rate vs n (c=6)", ["n", "success_rate"], rows_n)
     assert rows_n[-1][1] >= 0.9      # whp: large n is reliable
     benchmark.extra_info["vs_c"] = rows_c
     benchmark.extra_info["vs_n"] = rows_n
-    benchmark.pedantic(_rate, args=(128, 6.0, 5), rounds=1, iterations=1)
+    benchmark.pedantic(
+        harness_sweep, args=(dra_trial, [{"n": 128, "c": 6.0}]),
+        kwargs={"trials": 5, "master_seed": 561}, rounds=1, iterations=1)

@@ -5,6 +5,12 @@ prints the paper-style series (visible with ``pytest benchmarks/
 --benchmark-only -s``), attaches the series to the pytest-benchmark
 record via ``extra_info``, and asserts the *shape* the paper predicts
 (fitted exponents, orderings, crossovers) — not absolute numbers.
+
+Monte Carlo sweeps go through :func:`harness_sweep` — the same
+scheduler/store/seed-tree layer (:mod:`repro.harness`) the CLI and
+examples use — instead of hand-rolled seed loops, so benchmark trials
+share the library's determinism guarantees and can be parallelised or
+work-stolen without touching the experiment code.
 """
 
 from __future__ import annotations
@@ -12,6 +18,29 @@ from __future__ import annotations
 import math
 
 from repro.analysis import fit_power_law
+from repro.harness import MemoryStore, ParallelTrialRunner, TrialRunner
+
+
+def harness_sweep(trial_fn, points, *, trials, master_seed, jobs=1,
+                  schedule="ordered"):
+    """Run a benchmark sweep through the harness orchestration layer.
+
+    ``trial_fn(point, seed)`` follows the
+    :class:`~repro.harness.TrialRunner` contract (return a
+    ``RunResult`` or a mapping with ``success``).  Records land in a
+    :class:`~repro.harness.MemoryStore` (benchmarks re-run from
+    scratch by design); seeds derive from ``(master_seed, point #,
+    trial #)`` whatever ``jobs``/``schedule`` says, so a benchmark's
+    numbers are identical serial or parallel.
+    """
+    store = MemoryStore()
+    if jobs and jobs > 1:
+        runner = ParallelTrialRunner(trial_fn, master_seed=master_seed,
+                                     store=store, jobs=jobs,
+                                     schedule=schedule)
+    else:
+        runner = TrialRunner(trial_fn, master_seed=master_seed, store=store)
+    return runner.run(points, trials=trials)
 
 
 def show(title: str, header: list[str], rows: list[tuple]) -> None:

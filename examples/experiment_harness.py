@@ -9,10 +9,16 @@ runner with a resumable JSONL store, and aggregation into a table.
 Algorithm dispatch goes through :func:`repro.run`, so switching
 algorithm or engine is a string change.
 
-It then reruns the same sweep on a :class:`ParallelTrialRunner`: the
-seed derivation is shared, so the parallel run reproduces the serial
-trials bit for bit (same seeds, same cycles, same metrics) while using
-every core.
+It then walks the orchestration layer:
+
+1. the same sweep on a :class:`ParallelTrialRunner` — shared seed
+   derivation, so the parallel run reproduces the serial trials bit
+   for bit while using every core;
+2. the work-stealing scheduler on a skewed grid — completion order
+   changes, canonical records don't;
+3. a two-shard split with :class:`ShardedStore` backends — two
+   "hosts" each run a disjoint slice off the same master seed tree,
+   and :func:`merge_stores` fuses them back into the serial records.
 
 Run:  python examples/experiment_harness.py
 """
@@ -25,9 +31,12 @@ from repro.graphs import gnp_random_graph, paper_probability
 from repro.harness import (
     ParallelTrialRunner,
     ParameterGrid,
+    ShardedStore,
     TrialRunner,
     TrialStore,
+    canonical_order,
     group_by,
+    merge_stores,
     success_rate,
     summarize,
 )
@@ -47,7 +56,8 @@ def trial(point: dict, seed: int):
 
 def main() -> None:
     grid = ParameterGrid(n=[128], c=[1.5, 2.0, 3.0, 4.0, 6.0])
-    store_path = Path(tempfile.mkdtemp()) / "e6_mini.jsonl"
+    workdir = Path(tempfile.mkdtemp())
+    store_path = workdir / "e6_mini.jsonl"
     runner = TrialRunner(trial, master_seed=42, store=TrialStore(store_path))
 
     print(f"running {len(grid)} grid points x 10 trials "
@@ -85,6 +95,37 @@ def main() -> None:
         [t.canonical_json() for t in trials]
     print(f"  {len(ptrials)} parallel trials == serial trials "
           f"(seeds, success, metrics).")
+
+    print()
+    print("On a skewed grid (n=32 points beside n=256 points), the")
+    print("work-stealing scheduler keeps idle workers pulling chunks")
+    print("instead of waiting behind the expensive column — and still")
+    print("produces the same canonical records:")
+    skewed = ParameterGrid(n=[32, 256], c=[4.0, 6.0])
+    serial_sk = TrialRunner(trial, master_seed=7).run(skewed, trials=6)
+    stolen = ParallelTrialRunner(trial, master_seed=7, jobs=4,
+                                 schedule="work-stealing").run(
+        skewed, trials=6)
+    assert [t.canonical_json() for t in stolen] == \
+        [t.canonical_json() for t in serial_sk]
+    print(f"  {len(stolen)} work-stolen trials == serial trials.")
+
+    print()
+    print("Sharding splits one sweep across hosts: each shard runs a")
+    print("disjoint slice of the (point, trial) grid off the *same*")
+    print("master seed tree, appending to its own lock-free shard file:")
+    shard_dir = workdir / "e6_shards"
+    for index in range(2):  # two "hosts"
+        ParallelTrialRunner(
+            trial, master_seed=7, jobs=2, schedule="work-stealing",
+            shard=(index, 2),
+            store=ShardedStore(shard_dir, shard=f"{index}of2"),
+        ).run(skewed, trials=6)
+    merged = merge_stores([ShardedStore(shard_dir)])
+    assert [t.canonical_json() for t in merged] == \
+        [t.canonical_json() for t in canonical_order(serial_sk)]
+    print(f"  2 shards x work-stealing -> merge == serial sweep "
+          f"({len(merged)} records).")
 
 
 if __name__ == "__main__":

@@ -13,12 +13,23 @@ Subcommands
 
 ``sweep``
     Scaling study: run an algorithm over a node-count grid (optionally
-    across worker processes), print the rounds table and the fitted
-    power-law exponent::
+    across worker processes, with a pluggable scheduler and store
+    backend, and optionally as one shard of a multi-host sweep)::
 
         repro sweep --algorithm dhc1 --sizes 64,128,256,512 --trials 3
         repro sweep --algorithm dhc2 --sizes 256,512,1024 --jobs 4 \\
             --store sweep.jsonl
+        repro sweep --sizes 256,8192 --jobs 8 --schedule work-stealing \\
+            --store-backend sharded --store sweep_store/
+        repro sweep --sizes 64,128 --shard 0/2 --store-backend sharded \\
+            --store sweep_store/          # host 0 of 2; same seed tree
+
+``merge``
+    Fuse shard trial stores (from ``--shard``/``--store-backend
+    sharded`` sweeps, or any JSONL stores) into one canonical JSONL
+    with dedup, conflict, and completeness checks::
+
+        repro merge sweep_store/ --out merged.jsonl --trials 3
 
 ``engines``
     List every registered ``(algorithm, engine)`` pair with its
@@ -73,7 +84,17 @@ from repro.graphs import (
     paper_probability,
     random_regular_graph,
 )
-from repro.harness import ParallelTrialRunner, TrialRunner, TrialStore
+from repro.harness import (
+    SCHEDULERS,
+    STORE_BACKENDS,
+    JsonlStore,
+    ParallelTrialRunner,
+    ShardedStore,
+    ShardSpec,
+    TrialRunner,
+    make_store,
+    merge_stores,
+)
 from repro.reporting import render_table
 
 __all__ = ["main", "build_parser"]
@@ -161,10 +182,49 @@ def build_parser() -> argparse.ArgumentParser:
                               "default auto-sizes from the sweep, 1 = "
                               "one-task-per-message; results are identical "
                               "for any value)")
+    sweep_p.add_argument("--schedule", default="ordered",
+                         choices=sorted(SCHEDULERS),
+                         help="trial scheduler (with --jobs): ordered = "
+                              "store records byte-identical to a serial "
+                              "run; work-stealing = completion order, no "
+                              "head-of-line blocking on skewed grids "
+                              "(canonical records identical either way)")
     sweep_p.add_argument("--store", default=None, metavar="PATH",
-                         help="JSONL trial store for resume: completed "
-                              "trials are skipped on rerun")
+                         help="trial store for resume: completed trials "
+                              "are skipped on rerun (a JSONL file, or a "
+                              "directory with --store-backend sharded)")
+    sweep_p.add_argument("--store-backend", default="jsonl",
+                         choices=sorted(STORE_BACKENDS),
+                         help="store backend for --store: jsonl = one "
+                              "file; sharded = one lock-free shard file "
+                              "per writer under a directory (use with "
+                              "--shard); memory = discard (testing)")
+    sweep_p.add_argument("--shard", default=None, metavar="I/N",
+                         help="run only this host's deterministic slice "
+                              "of the (point, trial) grid (0-based, e.g. "
+                              "0/4); seeds are unchanged, so N shards "
+                              "against the same master seed cover the "
+                              "sweep exactly once — fuse with `repro "
+                              "merge`")
     sweep_p.add_argument("--json", action="store_true")
+
+    merge_p = sub.add_parser(
+        "merge", help="fuse shard trial stores into one canonical JSONL")
+    merge_p.add_argument("sources", nargs="+", metavar="STORE",
+                         help="shard stores: sharded-store directories "
+                              "and/or JSONL files")
+    merge_p.add_argument("--out", required=True, metavar="PATH",
+                         help="output JSONL store (rewritten in canonical "
+                              "order)")
+    merge_p.add_argument("--trials", type=int, default=None,
+                         help="assert every grid point holds exactly this "
+                              "many trials")
+    merge_p.add_argument("--points", type=int, default=None,
+                         help="assert exactly this many distinct grid "
+                              "points appear (with --trials: full joint-"
+                              "exhaustiveness check — catches a shard "
+                              "store whose points are entirely missing)")
+    merge_p.add_argument("--json", action="store_true")
 
     engines_p = sub.add_parser(
         "engines", help="list registered (algorithm, engine) pairs")
@@ -317,13 +377,28 @@ def _cmd_sweep(args) -> int:
     # (deterministically — same algorithm, engine, and empty require).
     resolved_engine = REGISTRY.resolve(algorithm, engine).engine
 
+    shard = ShardSpec.parse(args.shard) if args.shard else None
+
+    store = None
+    if args.store:
+        store_kwargs = {}
+        if args.store_backend == "sharded" and shard is not None:
+            # A stable writer label so a rerun of the same shard
+            # resumes into its own file instead of opening a new one.
+            store_kwargs["shard"] = shard.label
+        store = make_store(args.store_backend, args.store, **store_kwargs)
+    elif args.store_backend != "jsonl":
+        print(f"--store-backend {args.store_backend} needs --store PATH",
+              file=sys.stderr)
+        return 2
+
     trial_fn = _SweepTrial(algorithm, engine, args.delta, args.c, args.model)
-    store = TrialStore(args.store) if args.store else None
     runner_cls = ParallelTrialRunner if args.jobs > 1 else TrialRunner
-    runner_kwargs = {"master_seed": args.seed, "store": store}
+    runner_kwargs = {"master_seed": args.seed, "store": store, "shard": shard}
     if args.jobs > 1:
         runner_kwargs["jobs"] = args.jobs
         runner_kwargs["chunksize"] = args.chunksize
+        runner_kwargs["schedule"] = args.schedule
     runner = runner_cls(trial_fn, **runner_kwargs)
     trials = runner.run([{"n": n} for n in sizes], trials=args.trials)
 
@@ -331,12 +406,15 @@ def _cmd_sweep(args) -> int:
     ns, mean_rounds = [], []
     for n in sizes:
         bucket = [t for t in trials if t.point["n"] == n]
+        if shard is not None and not bucket:
+            continue  # this host owns no trial of that point
         wins = sum(t.success for t in bucket)
         rounds = [t.metrics["rounds"] for t in bucket
                   if t.success and "rounds" in t.metrics]
         p = paper_probability(n, args.delta, args.c)
         mean = sum(rounds) / len(rounds) if rounds else float("nan")
-        rows.append([n, f"{p:.4f}", wins, args.trials, round(mean, 1)])
+        owned = len(bucket) if shard is not None else args.trials
+        rows.append([n, f"{p:.4f}", wins, owned, round(mean, 1)])
         if rounds and mean > 0:
             # Sequential engines report rounds=0 (nothing distributed
             # to account for); a power-law fit is meaningless there.
@@ -347,19 +425,63 @@ def _cmd_sweep(args) -> int:
     if len(ns) >= 2:
         _a, exponent = fit_power_law(ns, mean_rounds)
     if args.json:
-        print(json.dumps({
+        payload = {
             "algorithm": algorithm,
             "engine": resolved_engine,
             "jobs": args.jobs,
             "rows": rows,
             "fitted_exponent": exponent,
-        }, indent=2))
+        }
+        if shard is not None:
+            payload["shard"] = str(shard)
+            payload["trials_run"] = len(trials)
+        print(json.dumps(payload, indent=2))
     else:
-        print(render_table(["n", "p", "successes", "trials", "mean rounds"], rows,
-                           title=f"{algorithm} sweep (engine={resolved_engine}, "
-                                 f"delta={args.delta}, c={args.c})"))
+        title = (f"{algorithm} sweep (engine={resolved_engine}, "
+                 f"delta={args.delta}, c={args.c}")
+        title += f", shard {shard})" if shard is not None else ")"
+        print(render_table(["n", "p", "successes", "trials", "mean rounds"],
+                           rows, title=title))
         if exponent is not None:
             print(f"fitted rounds ~ n^{exponent:.3f}")
+        if shard is not None:
+            print(f"shard {shard}: ran {len(trials)} of "
+                  f"{len(sizes) * args.trials} trials; fuse the shard "
+                  f"stores with `repro merge`")
+    return 0
+
+
+def _open_source_store(path_text: str):
+    """A merge source: a sharded-store directory or one JSONL file."""
+    from pathlib import Path
+
+    path = Path(path_text)
+    if path.is_dir():
+        return ShardedStore(path)
+    if not path.exists():
+        # A typo'd path must not masquerade as an empty store — that
+        # would silently drop a shard's records from the merge.
+        raise ValueError(f"merge source {path_text!r} does not exist")
+    return JsonlStore(path)
+
+
+def _cmd_merge(args) -> int:
+    sources = [_open_source_store(p) for p in args.sources]
+    dest = JsonlStore(args.out)
+    trials = merge_stores(sources, dest, expect_trials=args.trials,
+                          expect_points=args.points)
+    points = {tuple(sorted(t.point.items())) for t in trials}
+    if args.json:
+        print(json.dumps({
+            "out": args.out,
+            "sources": list(args.sources),
+            "records": len(trials),
+            "points": len(points),
+        }, indent=2))
+    else:
+        print(f"merged {len(sources)} store(s) -> {args.out}: "
+              f"{len(trials)} canonical records over {len(points)} "
+              f"grid point(s)")
     return 0
 
 
@@ -450,6 +572,7 @@ def _cmd_bounds(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "merge": _cmd_merge,
     "engines": _cmd_engines,
     "graph": _cmd_graph,
     "bounds": _cmd_bounds,

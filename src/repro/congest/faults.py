@@ -41,7 +41,27 @@ import numpy as np
 
 from repro.congest.network import Network
 
-__all__ = ["FaultPlan", "FaultInjector"]
+__all__ = ["FaultPlan", "FaultInjector", "compose_fault_hook"]
+
+
+def compose_fault_hook(plan: "FaultPlan", network_hook=None):
+    """A ``network_hook`` applying ``plan``, composed with an existing hook.
+
+    This is how the congest runners honour their registry-declared
+    ``fault_plan`` keyword: the returned hook attaches a fresh
+    :class:`FaultInjector` (before any caller-supplied hook, so a
+    conflicting second delivery filter fails loudly), and the injector
+    is returned alongside so the runner can report
+    ``injector.summary()`` in its result detail.
+    """
+    injector = FaultInjector(plan)
+
+    def hook(network: "Network") -> None:
+        injector.attach(network)
+        if network_hook is not None:
+            network_hook(network)
+
+    return hook, injector
 
 
 @dataclass(frozen=True)

@@ -352,14 +352,23 @@ def run_dhc1(
     max_rounds: int | None = None,
     audit_memory: bool = False,
     network_hook=None,
+    fault_plan=None,
 ) -> RunResult:
     """Run Algorithm 2 on ``graph`` in the CONGEST simulator.
 
     Intended for the DHC1 regime ``p = c ln n / sqrt(n)``; ``k`` defaults
     to ``sqrt(n)`` colour classes.  ``network_hook(network)``, if given,
-    runs after construction and before execution (observer attachment).
+    runs after construction and before execution (observer attachment);
+    ``fault_plan`` declaratively attaches a
+    :class:`~repro.congest.faults.FaultInjector`, reported under
+    ``detail["faults"]``.
     """
     n = graph.n
+    injector = None
+    if fault_plan is not None:
+        from repro.congest.faults import compose_fault_hook
+
+        network_hook, injector = compose_fault_hook(fault_plan, network_hook)
     colors = k if k is not None else default_sqrt_colors(n)
     limit = max_rounds if max_rounds is not None else dhc1_round_budget(n, colors)
     network = Network(
@@ -388,6 +397,8 @@ def run_dhc1(
         (p.vwalk.steps_seen for p in protocols if p.vwalk is not None), default=0
     )
     detail = {"k": colors, "aborted": sum(p.aborted for p in protocols)}
+    if injector is not None:
+        detail["faults"] = injector.summary()
     if audit_memory:
         detail["max_state_words"] = metrics.max_state_words()
         detail["state_words"] = metrics.peak_state_words.tolist()

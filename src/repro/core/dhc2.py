@@ -175,6 +175,7 @@ def run_dhc2(
     max_rounds: int | None = None,
     audit_memory: bool = False,
     network_hook=None,
+    fault_plan=None,
 ) -> RunResult:
     """Run Algorithm 3 on ``graph`` in the CONGEST simulator.
 
@@ -184,9 +185,17 @@ def run_dhc2(
     Hamiltonian cycle of the input graph.
 
     ``network_hook(network)``, if given, runs after construction and
-    before execution (observer attachment point).
+    before execution (observer attachment point); ``fault_plan``
+    declaratively attaches a
+    :class:`~repro.congest.faults.FaultInjector`, reported under
+    ``detail["faults"]``.
     """
     n = graph.n
+    injector = None
+    if fault_plan is not None:
+        from repro.congest.faults import compose_fault_hook
+
+        network_hook, injector = compose_fault_hook(fault_plan, network_hook)
     colors = k if k is not None else default_color_count(n, delta)
     limit = max_rounds if max_rounds is not None else dhc2_round_budget(n, colors)
     network = Network(
@@ -218,6 +227,8 @@ def run_dhc2(
         "levels": merge_levels(colors),
         "aborted": sum(p.aborted for p in protocols),
     }
+    if injector is not None:
+        detail["faults"] = injector.summary()
     if audit_memory:
         detail["max_state_words"] = metrics.max_state_words()
         detail["state_words"] = metrics.peak_state_words.tolist()

@@ -114,6 +114,7 @@ def run_dra(
     max_rounds: int | None = None,
     audit_memory: bool = False,
     network_hook=None,
+    fault_plan=None,
 ) -> RunResult:
     """Run Algorithm 1 on ``graph`` in the CONGEST simulator.
 
@@ -123,9 +124,17 @@ def run_dra(
 
     ``network_hook(network)``, if given, runs after construction and
     before execution — observers (k-machine accounting, fault plans)
-    attach here without altering the protocol.
+    attach here without altering the protocol.  ``fault_plan``, a
+    :class:`~repro.congest.faults.FaultPlan`, is the declarative
+    spelling of the same: the runner attaches the injector itself and
+    reports its counters under ``detail["faults"]``.
     """
     n = graph.n
+    injector = None
+    if fault_plan is not None:
+        from repro.congest.faults import compose_fault_hook
+
+        network_hook, injector = compose_fault_hook(fault_plan, network_hook)
     budget = step_budget if step_budget is not None else dra_step_budget(n)
     limit = max_rounds if max_rounds is not None else dra_round_budget(n, budget)
     network = Network(
@@ -152,6 +161,8 @@ def run_dra(
             ok = False
             cycle = None
     detail = {"fail_codes": sorted({w.fail_code for w in walks if w is not None and w.fail_code})}
+    if injector is not None:
+        detail["faults"] = injector.summary()
     if audit_memory:
         detail["max_state_words"] = metrics.max_state_words()
         detail["state_words"] = metrics.peak_state_words.tolist()

@@ -44,11 +44,11 @@ from repro.engines.results import RunResult
 __all__ = ["Engine", "EngineSpec", "ENGINE_PRIORITY"]
 
 #: ``engine="auto"`` preference order (higher wins): the array-kernel
-#: step-level engine when it can honour the request, its pure-Python
-#: twin (``fast-py``, the parity oracle) next, the message-level
-#: simulator when full CONGEST fidelity (or a capability only it has)
-#: is needed, sequential solvers as a last resort.
-ENGINE_PRIORITY = {"fast": 30, "fast-py": 25, "congest": 20, "sequential": 10}
+#: step-level engine when it can honour the request, the message-level
+#: simulator when full CONGEST fidelity (or a capability only it has,
+#: e.g. ``audit_memory`` / ``fault_plan``) is needed, sequential
+#: solvers as a last resort.
+ENGINE_PRIORITY = {"fast": 30, "congest": 20, "sequential": 10}
 
 
 @runtime_checkable

@@ -22,11 +22,12 @@ which is what licenses using it for the large-n benchmark sweeps.
 Two implementations share this contract.  ``engine="fast"`` runs on
 the array-native CSR kernel (:mod:`repro.engines.arraywalk`):
 dead-edge bitmask, int64 path/position arrays, vectorised tree
-timing.  ``engine="fast-py"`` is the original pure-Python walker
-below, kept for one release as the kernel's parity oracle (and for
-consumers such as ``benchmarks/bench_a1_bridge_ablation.py`` that
-ablate :class:`_FastWalk` internals); the two are decision-identical,
-enforced by ``tests/test_engine_parity.py``.
+timing.  The original pure-Python walker below (``_dra_fast_py`` /
+:class:`_FastWalk`) spent its one deprecation release registered as
+``engine="fast-py"`` and is now a *test-only parity oracle*: no
+longer in the registry, but importable so
+``tests/test_engine_parity.py`` can assert the kernel remains
+decision-identical to it seed for seed.
 """
 
 from __future__ import annotations

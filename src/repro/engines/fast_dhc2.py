@@ -16,9 +16,10 @@ pacing.  Cross-engine tests bound the ratio; scaling *shape* (the
 
 ``engine="fast"`` replays Phase 1 on the array kernel
 (:mod:`repro.engines.arraywalk`) over a colour-filtered CSR built in
-one vectorised pass; ``engine="fast-py"`` keeps the pure-Python
-walker as the parity oracle.  Phase 2 is deterministic and shared
-verbatim by both.
+one vectorised pass; ``_dhc2_fast_py`` keeps the pure-Python walker
+as a test-only parity oracle (formerly registered as
+``engine="fast-py"``, retired after its deprecation release).
+Phase 2 is deterministic and shared verbatim by both.
 """
 
 from __future__ import annotations

@@ -27,8 +27,14 @@ from repro.engines.results import RunResult
 
 __all__ = ["EngineRegistry", "REGISTRY", "run"]
 
-#: Keyword sets shared by the congest front ends.
-_CONGEST_COMMON = ("max_rounds", "audit_memory", "network_hook")
+#: Keyword sets shared by the fully-distributed congest front ends.
+#: ``fault_plan`` is the declarative failure-injection capability: a
+#: :class:`~repro.congest.faults.FaultPlan` attached by the runner
+#: itself, so sweeps mix fault scenarios without importing
+#: ``repro.congest.faults`` at call sites (and ``engine="auto"``
+#: steers such runs onto the simulator, the only engine that can
+#: inject).
+_CONGEST_COMMON = ("max_rounds", "audit_memory", "network_hook", "fault_plan")
 
 
 def _builtin_specs() -> list[EngineSpec]:
@@ -43,10 +49,6 @@ def _builtin_specs() -> list[EngineSpec]:
                    supported_kwargs=("step_budget",),
                    parity=("cycle", "steps", "rounds"),
                    summary="Algorithm 1, step-level replay on the array kernel"),
-        EngineSpec("dra", "fast-py", "repro.engines.fast:_dra_fast_py",
-                   supported_kwargs=("step_budget",),
-                   parity=("cycle", "steps", "rounds"),
-                   summary="Algorithm 1, pure-Python replay (parity oracle)"),
         EngineSpec("dhc1", "congest", "repro.core:run_dhc1",
                    supported_kwargs=("k", *_CONGEST_COMMON),
                    kmachine_convertible=True, audits_memory=True,
@@ -59,10 +61,11 @@ def _builtin_specs() -> list[EngineSpec]:
                    supported_kwargs=("delta", "k"),
                    parity=("cycle", "steps"),
                    summary="Algorithm 3, step-level replay on the array kernel"),
-        EngineSpec("dhc2", "fast-py", "repro.engines.fast_dhc2:_dhc2_fast_py",
-                   supported_kwargs=("delta", "k"),
-                   parity=("cycle", "steps"),
-                   summary="Algorithm 3, pure-Python replay (parity oracle)"),
+        # The pure-Python walkers that preceded the array kernel served
+        # one release as registered "fast-py" engines; they remain
+        # importable (repro.engines.fast:_dra_fast_py,
+        # repro.engines.fast_dhc2:_dhc2_fast_py) as the parity suite's
+        # test-only oracles but are no longer dispatch targets.
         # -- the paper's centralized algorithms --------------------------------
         EngineSpec("upcast", "congest", "repro.core:run_upcast",
                    supported_kwargs=("c_prime", "solver_restarts",

@@ -1,4 +1,4 @@
-"""Experiment harness: grids, trials, aggregation, persistence.
+"""Experiment harness: grids, trials, scheduling, sharding, persistence.
 
 The benchmark files under ``benchmarks/`` each hand-roll the same three
 things: a parameter grid, a loop of seeded Monte Carlo trials, and
@@ -12,26 +12,65 @@ and available to downstream users building their own experiments:
   over grid x seeds with deterministic seed derivation, collecting
   :class:`~repro.harness.runner.Trial` records;
 * :class:`~repro.harness.runner.ParallelTrialRunner` — the same
-  contract fanned out over worker processes: identical seed tree,
-  identical store records, every core busy;
+  contract fanned out over worker processes, with a pluggable
+  scheduler (:mod:`repro.harness.scheduler`): ``ordered`` keeps store
+  records byte-identical to a serial run, ``work-stealing`` keeps
+  every core busy on skewed grids;
+* :mod:`repro.harness.store` — pluggable persistence backends with
+  resume: :class:`~repro.harness.store.JsonlStore` (one file),
+  :class:`~repro.harness.store.ShardedStore` (one lock-free shard file
+  per writer/host), :class:`~repro.harness.store.MemoryStore` (tests);
+* :mod:`repro.harness.sharding` — deterministic multi-host partition
+  of the (point, trial) grid (``--shard I/N``) plus
+  :func:`~repro.harness.sharding.merge_stores` to fuse shard stores
+  back into one canonical record stream;
 * :mod:`repro.harness.aggregate` — success rates, means, quantiles,
-  group-by over trial records;
-* :class:`~repro.harness.store.TrialStore` — JSONL persistence with
-  resume (skip already-recorded trials), so long sweeps survive
-  interruption.
+  group-by over trial records.
+
+Every layer preserves the seed tree: seeds derive from (master seed,
+point index, trial index) whatever the scheduler, backend, or shard
+split, so the *canonical records* of a sweep are invariant across all
+of them (see :meth:`~repro.harness.runner.Trial.canonical_json`).
 """
 
 from repro.harness.aggregate import group_by, quantile, success_rate, summarize
 from repro.harness.grid import ParameterGrid
 from repro.harness.runner import ParallelTrialRunner, Trial, TrialRunner
-from repro.harness.store import TrialStore
+from repro.harness.scheduler import (
+    SCHEDULERS,
+    OrderedScheduler,
+    TrialScheduler,
+    WorkStealingScheduler,
+)
+from repro.harness.sharding import ShardSpec, merge_stores
+from repro.harness.store import (
+    STORE_BACKENDS,
+    JsonlStore,
+    MemoryStore,
+    ShardedStore,
+    TrialStore,
+    canonical_order,
+    make_store,
+)
 
 __all__ = [
     "ParameterGrid",
     "Trial",
     "TrialRunner",
     "ParallelTrialRunner",
+    "TrialScheduler",
+    "OrderedScheduler",
+    "WorkStealingScheduler",
+    "SCHEDULERS",
+    "ShardSpec",
+    "merge_stores",
     "TrialStore",
+    "JsonlStore",
+    "ShardedStore",
+    "MemoryStore",
+    "STORE_BACKENDS",
+    "canonical_order",
+    "make_store",
     "success_rate",
     "summarize",
     "quantile",

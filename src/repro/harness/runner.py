@@ -11,6 +11,17 @@ from (master seed, point index, trial index), so
 The trial function receives ``(point, seed)`` and returns either a
 :class:`~repro.engines.results.RunResult` or any mapping with at least
 a boolean ``success`` — both are normalised into :class:`Trial`.
+
+Orchestration layers (all optional, all preserving the seed tree):
+
+* **store backends** (:mod:`repro.harness.store`) persist completed
+  trials and power resume;
+* **schedulers** (:mod:`repro.harness.scheduler`) decide how the
+  parallel runner's pending trials flow through the worker pool —
+  ordered (byte-identical store) or work-stealing (skew-tolerant);
+* **sharding** (:mod:`repro.harness.sharding`) restricts a runner to a
+  deterministic slice of the (point, trial) grid so N hosts can split
+  one sweep.
 """
 
 from __future__ import annotations
@@ -46,7 +57,7 @@ class Trial:
     elapsed_s: float = 0.0
 
     def to_json(self) -> dict[str, Any]:
-        """A flat JSON-safe dict (used by :class:`TrialStore`)."""
+        """A flat JSON-safe dict (used by the store backends)."""
         return {
             "point": self.point,
             "trial_index": self.trial_index,
@@ -68,19 +79,30 @@ class Trial:
         )
 
     def key(self) -> tuple:
-        """Identity of this trial for resume de-duplication."""
+        """Identity of this trial for resume de-duplication.
+
+        Also the sort key of the deterministic *canonical order*
+        (:func:`repro.harness.store.canonical_order`) that
+        work-stealing stores and shard merges are normalised into.
+        """
         return (tuple(sorted(self.point.items())), self.trial_index)
 
     def canonical_json(self) -> dict[str, Any]:
         """:meth:`to_json` minus wall-clock fields.
 
-        Two runs of the same sweep — serial or parallel, fresh or
-        resumed — produce byte-identical canonical records; only
+        Two runs of the same sweep — serial or parallel, any
+        scheduler, any store backend, any shard split, fresh or
+        resumed — produce identical canonical records; only
         ``elapsed_s`` varies with the machine's load.
         """
         data = self.to_json()
         data.pop("elapsed_s", None)
         return data
+
+
+def trial_key(point: Mapping[str, Any], trial_index: int) -> tuple:
+    """:meth:`Trial.key` for a not-yet-run (point, trial index) pair."""
+    return (tuple(sorted(point.items())), trial_index)
 
 
 class TrialRunner:
@@ -93,16 +115,24 @@ class TrialRunner:
     master_seed:
         Root of the seed tree.
     store:
-        Optional :class:`~repro.harness.store.TrialStore`; completed
-        trials are appended as they finish, and trials already present
-        in the store are skipped (resume).
+        Optional :class:`~repro.harness.store.TrialStore` backend;
+        completed trials are appended as they finish, and trials
+        already present in the store are skipped (resume).
+    shard:
+        Optional :class:`~repro.harness.sharding.ShardSpec` (or
+        ``"I/N"`` string / ``(index, count)`` pair) restricting this
+        runner to its deterministic slice of the (point, trial) grid.
+        Seeds for the pairs it runs are identical to an unsharded run.
     """
 
     def __init__(self, fn: Callable[[dict, int], Any], *,
-                 master_seed: int = 0, store=None):
+                 master_seed: int = 0, store=None, shard=None):
+        from repro.harness.sharding import ShardSpec
+
         self.fn = fn
         self.master_seed = master_seed
         self.store = store
+        self.shard = ShardSpec.coerce(shard)
 
     def derive_seed(self, point_index: int, trial_index: int) -> int:
         """The deterministic seed for (grid point #, trial #)."""
@@ -112,51 +142,76 @@ class TrialRunner:
         )
         return int(seq.generate_state(1, dtype=np.uint64)[0] % (2**31 - 1))
 
-    def run(self, points, *, trials: int = 1,
-            progress: Callable[[Trial], None] | None = None) -> list[Trial]:
-        """Execute every (point, trial) pair; returns all trials in order.
+    def _plan(self, points, trials: int) -> list[tuple[int, int, dict, Trial | None]]:
+        """This runner's schedule: (point #, trial #, point, resumed trial).
 
-        With a store attached, previously recorded trials are loaded
-        instead of re-run (their stored metrics are trusted — reruns
-        are bit-identical by construction, so this is safe).
+        Grid enumeration order, filtered to this runner's shard slice;
+        the fourth element is the already-stored trial for resumed
+        pairs, ``None`` for pending ones.
         """
         done: dict[tuple, Trial] = {}
         if self.store is not None:
             for trial in self.store.load():
                 done[trial.key()] = trial
-
-        out: list[Trial] = []
+        plan = []
         for point_index, point in enumerate(points):
             for trial_index in range(trials):
-                probe = Trial(point=dict(point), trial_index=trial_index,
-                              seed=0, success=False)
-                existing = done.get(probe.key())
-                if existing is not None:
-                    out.append(existing)
+                if self.shard is not None and not self.shard.owns(
+                        point_index, trial_index, trials):
                     continue
-                seed = self.derive_seed(point_index, trial_index)
-                start = time.perf_counter()
-                raw = self.fn(dict(point), seed)
-                elapsed = time.perf_counter() - start
-                trial = _normalize(raw, dict(point), trial_index, seed, elapsed)
-                out.append(trial)
-                if self.store is not None:
-                    self.store.append(trial)
+                plan.append((point_index, trial_index, point,
+                             done.get(trial_key(point, trial_index))))
+        return plan
+
+    def run(self, points, *, trials: int = 1,
+            progress: Callable[[Trial], None] | None = None) -> list[Trial]:
+        """Execute every owned (point, trial) pair; returns them in order.
+
+        With a store attached, previously recorded trials are loaded
+        instead of re-run (their stored metrics are trusted — reruns
+        are bit-identical by construction, so this is safe).
+        ``progress`` fires exactly once per returned trial, resumed or
+        freshly executed alike.
+        """
+        points = [dict(p) for p in points]
+        out: list[Trial] = []
+        for point_index, trial_index, point, existing in self._plan(points, trials):
+            if existing is not None:
+                out.append(existing)
                 if progress is not None:
-                    progress(trial)
+                    progress(existing)
+                continue
+            seed = self.derive_seed(point_index, trial_index)
+            start = time.perf_counter()
+            raw = self.fn(dict(point), seed)
+            elapsed = time.perf_counter() - start
+            trial = _normalize(raw, dict(point), trial_index, seed, elapsed)
+            out.append(trial)
+            if self.store is not None:
+                self.store.append(trial)
+            if progress is not None:
+                progress(trial)
         return out
 
 
 class ParallelTrialRunner(TrialRunner):
     """A :class:`TrialRunner` that fans trials out over worker processes.
 
-    Seed derivation, trial ordering, store contents, and resume
+    Seed derivation, trial ordering, store *contents*, and resume
     behaviour are all identical to the serial runner: seeds come from
-    the same ``SeedSequence`` tree keyed by (grid point #, trial #), and
-    results are consumed from the pool in submission order, so the
-    JSONL store receives the same records in the same order as a serial
-    run (byte-identical up to the wall-clock ``elapsed_s`` field — see
-    :meth:`Trial.canonical_json`).  Only wall-clock time differs.
+    the same ``SeedSequence`` tree keyed by (grid point #, trial #),
+    and the returned list is always in schedule (grid) order.  How
+    results flow back — and hence the store's *write order* — is the
+    pluggable scheduler's choice (:mod:`repro.harness.scheduler`):
+
+    * ``schedule="ordered"`` (default) consumes completions in
+      submission order, so a JSONL store receives the same records in
+      the same order as a serial run — byte-identical up to the
+      wall-clock ``elapsed_s`` field (see :meth:`Trial.canonical_json`);
+    * ``schedule="work-stealing"`` consumes completions as they land,
+      so skewed grids don't serialise behind head-of-line chunks; the
+      store becomes a completion log whose records re-canonicalise to
+      the same set at load/aggregate time.
 
     The trial function must be picklable (a module-level function or
     class instance), as must its return value — true for
@@ -175,20 +230,23 @@ class ParallelTrialRunner(TrialRunner):
         unsafe there.
     chunksize:
         Trials handed to a worker per IPC message.  ``None`` (default)
-        auto-sizes from the pending-trial count and worker count (see
-        :meth:`auto_chunksize`) so sub-millisecond vectorised trials
-        are not drowned in per-task IPC; pass an explicit value to
-        pin it (``1`` reproduces the old one-task-per-message
-        behaviour).  Chunking never changes results: ordered ``imap``
-        keeps completions in submission order, so seeds, trial order,
-        and store records stay byte-identical (up to ``elapsed_s``)
-        whatever the chunk size.
+        auto-sizes from the pending-trial count, worker count, and the
+        scheduler (work stealing prefers finer chunks — they are the
+        stealing unit); pass an explicit value to pin it (``1``
+        reproduces one-task-per-message).  Chunking never changes
+        results.
+    schedule:
+        Scheduler name (``"ordered"`` / ``"work-stealing"``), class,
+        or :class:`~repro.harness.scheduler.TrialScheduler` instance.
     """
 
     def __init__(self, fn: Callable[[dict, int], Any], *,
-                 master_seed: int = 0, store=None, jobs: int | None = None,
-                 mp_context: str | None = None, chunksize: int | None = None):
-        super().__init__(fn, master_seed=master_seed, store=store)
+                 master_seed: int = 0, store=None, shard=None,
+                 jobs: int | None = None, mp_context: str | None = None,
+                 chunksize: int | None = None, schedule="ordered"):
+        from repro.harness.scheduler import resolve_scheduler
+
+        super().__init__(fn, master_seed=master_seed, store=store, shard=shard)
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
         if mp_context is None and sys.platform.startswith("linux") \
                 and "fork" in multiprocessing.get_all_start_methods():
@@ -197,84 +255,54 @@ class ParallelTrialRunner(TrialRunner):
         if chunksize is not None and int(chunksize) < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.chunksize = int(chunksize) if chunksize is not None else None
+        self.scheduler = resolve_scheduler(schedule)
 
     @staticmethod
     def auto_chunksize(pending: int, workers: int) -> int:
-        """Chunk size balancing IPC amortisation against load balance.
+        """The ordered scheduler's default chunking (kept as API)."""
+        from repro.harness.scheduler import OrderedScheduler
 
-        Aim for ~4 chunks per worker (so a straggler chunk costs at
-        most ~1/4 of a worker's share), capped at 64 trials per
-        message to bound per-chunk latency for slow trial functions.
-        """
-        return max(1, min(64, -(-pending // (4 * workers))))
+        return OrderedScheduler.auto_chunksize(pending, workers)
 
     def run(self, points, *, trials: int = 1,
             progress: Callable[[Trial], None] | None = None) -> list[Trial]:
         if self.jobs <= 1:
             return super().run(points, trials=trials, progress=progress)
         points = [dict(p) for p in points]
-        done: dict[tuple, Trial] = {}
-        if self.store is not None:
-            for trial in self.store.load():
-                done[trial.key()] = trial
-
-        # (point_index, trial_index) -> existing Trial or None (pending).
-        schedule: list[tuple[int, int, Trial | None]] = []
-        pending: list[tuple[int, int]] = []
-        for point_index, point in enumerate(points):
-            for trial_index in range(trials):
-                probe = Trial(point=dict(point), trial_index=trial_index,
-                              seed=0, success=False)
-                existing = done.get(probe.key())
-                schedule.append((point_index, trial_index, existing))
-                if existing is None:
-                    pending.append((point_index, trial_index))
-
+        plan = self._plan(points, trials)
+        pending = [(slot, point_index, trial_index, point)
+                   for slot, (point_index, trial_index, point, existing)
+                   in enumerate(plan) if existing is None]
         if len(pending) <= 1:  # nothing worth a pool; serial path resumes
             return super().run(points, trials=trials, progress=progress)
 
-        tasks = [(points[pi], ti, self.derive_seed(pi, ti))
-                 for pi, ti in pending]
-        computed: dict[tuple[int, int], Trial] = {}
+        # Resumed trials are reported up front (schedule order); the
+        # scheduler then emits freshly computed ones as it completes
+        # them.  Either way progress fires once per returned trial.
+        results: list[Trial | None] = [existing for _, _, _, existing in plan]
+        if progress is not None:
+            for existing in results:
+                if existing is not None:
+                    progress(existing)
+
+        tasks = [(slot, point, trial_index,
+                  self.derive_seed(point_index, trial_index))
+                 for slot, point_index, trial_index, point in pending]
         ctx = multiprocessing.get_context(self.mp_context)
         workers = min(self.jobs, len(tasks))
         chunksize = (self.chunksize if self.chunksize is not None
-                     else self.auto_chunksize(len(tasks), workers))
-        with ctx.Pool(processes=workers, initializer=_pool_initializer,
-                      initargs=(self.fn,)) as pool:
-            # imap (ordered) keeps store appends in submission order —
-            # the same order the serial runner writes — regardless of
-            # how tasks are batched into chunks.
-            for key, trial in zip(pending,
-                                  pool.imap(_pool_trial, tasks,
-                                            chunksize=chunksize)):
-                computed[key] = trial
-                if self.store is not None:
-                    self.store.append(trial)
-                if progress is not None:
-                    progress(trial)
+                     else self.scheduler.auto_chunksize(len(tasks), workers))
 
-        return [existing if existing is not None
-                else computed[(point_index, trial_index)]
-                for point_index, trial_index, existing in schedule]
+        def emit(slot: int, trial: Trial) -> None:
+            results[slot] = trial
+            if self.store is not None:
+                self.store.append(trial)
+            if progress is not None:
+                progress(trial)
 
-
-#: Per-worker trial function, installed once by the pool initializer so
-#: each task message carries only (point, index, seed).
-_worker_fn: Callable[[dict, int], Any] | None = None
-
-
-def _pool_initializer(fn: Callable[[dict, int], Any]) -> None:
-    global _worker_fn
-    _worker_fn = fn
-
-
-def _pool_trial(task: tuple[dict, int, int]) -> Trial:
-    point, trial_index, seed = task
-    start = time.perf_counter()
-    raw = _worker_fn(dict(point), seed)
-    elapsed = time.perf_counter() - start
-    return _normalize(raw, dict(point), trial_index, seed, elapsed)
+        self.scheduler.execute(ctx, self.fn, tasks, workers=workers,
+                               chunksize=chunksize, emit=emit)
+        return results  # type: ignore[return-value]  # every slot filled
 
 
 def _normalize(raw: Any, point: dict, trial_index: int, seed: int,

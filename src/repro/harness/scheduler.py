@@ -1,0 +1,169 @@
+"""Pluggable trial scheduling for the parallel runner.
+
+A *scheduler* decides how pending trials flow through a worker pool
+and in what order their results surface.  The runner
+(:class:`~repro.harness.runner.ParallelTrialRunner`) owns seed
+derivation, resume, store writes, and result assembly; the scheduler
+owns only the pool loop, so schedulers can never change *what* is
+computed — only when each result arrives.
+
+Two schedulers ship:
+
+``ordered`` (:class:`OrderedScheduler`)
+    Results surface in submission order (``imap``) — the store
+    receives the same records in the same order as a serial run, so a
+    :class:`~repro.harness.store.JsonlStore` file is byte-identical to
+    the serial one (up to ``elapsed_s``).  Head-of-line blocking: a
+    slow chunk at the front delays everything behind it.
+
+``work-stealing`` (:class:`WorkStealingScheduler`)
+    Results surface in completion order (``imap_unordered``) — idle
+    workers pull the next chunk as soon as they finish, so skewed
+    grids (n=256 points next to n=8192 points) no longer serialise
+    behind head-of-line chunks.  The store then acts as a
+    *write-ahead completion log*: records land in completion order
+    and are re-canonicalised into deterministic order at load or
+    aggregate time (:func:`repro.harness.store.canonical_order`).
+    The runner's returned list is always in schedule order either
+    way, and the *set* of canonical records is identical to an
+    ordered run's.
+
+Both batch trials into chunks per worker IPC message.  Work stealing
+targets more, smaller chunks (~16 per worker vs ~4) because chunks
+are also the stealing granularity: one mega-chunk of slow trials on
+one worker is exactly the skew the scheduler exists to avoid.
+
+Schedulers register in :data:`SCHEDULERS`; the CLI's ``--schedule``
+choices and :func:`resolve_scheduler` stay in sync automatically.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Any, Callable
+
+from repro.harness.runner import Trial, _normalize
+
+__all__ = [
+    "TrialScheduler",
+    "OrderedScheduler",
+    "WorkStealingScheduler",
+    "SCHEDULERS",
+    "resolve_scheduler",
+]
+
+#: One pending trial handed to a worker: (slot, point, trial_index, seed).
+#: ``slot`` is the position in the runner's schedule, so out-of-order
+#: completions can be re-keyed without ambiguity.
+Task = tuple[int, dict, int, int]
+
+
+class TrialScheduler(abc.ABC):
+    """How pending trials are dispatched over a worker pool.
+
+    Subclasses implement :meth:`execute`: run every task exactly once
+    and call ``emit(slot, trial)`` as each result becomes available.
+    ``emit`` is invoked in the parent process (it appends to the store
+    and fires the progress callback), so a scheduler's emission order
+    *is* its store-write order.
+    """
+
+    #: Registry/CLI name; subclasses override.
+    name = "abstract"
+
+    @abc.abstractmethod
+    def execute(self, ctx, fn: Callable[[dict, int], Any], tasks: list[Task],
+                *, workers: int, chunksize: int,
+                emit: Callable[[int, Trial], None]) -> None:
+        """Run ``tasks`` on a ``ctx.Pool(workers)``, emitting results."""
+
+    @staticmethod
+    def auto_chunksize(pending: int, workers: int) -> int:
+        """Chunk size balancing IPC amortisation against load balance.
+
+        Aim for ~4 chunks per worker (so a straggler chunk costs at
+        most ~1/4 of a worker's share), capped at 64 trials per
+        message to bound per-chunk latency for slow trial functions.
+        """
+        return max(1, min(64, -(-pending // (4 * workers))))
+
+
+class OrderedScheduler(TrialScheduler):
+    """Submission-order completion — today's byte-identical store path."""
+
+    name = "ordered"
+
+    def execute(self, ctx, fn, tasks, *, workers, chunksize, emit) -> None:
+        with ctx.Pool(processes=workers, initializer=_pool_initializer,
+                      initargs=(fn,)) as pool:
+            # imap (ordered) keeps emissions in submission order — the
+            # same order the serial runner writes — regardless of how
+            # tasks are batched into chunks.
+            for slot, trial in pool.imap(_pool_trial, tasks,
+                                         chunksize=chunksize):
+                emit(slot, trial)
+
+
+class WorkStealingScheduler(TrialScheduler):
+    """Completion-order results: idle workers steal the next chunk.
+
+    ``imap_unordered`` hands each finished chunk back immediately, so
+    no worker idles behind a straggler at the head of the line.  The
+    cost is a nondeterministic store-write order; determinism is
+    restored at read time via canonical ordering (the runner's return
+    value is already in schedule order).
+    """
+
+    name = "work-stealing"
+
+    def execute(self, ctx, fn, tasks, *, workers, chunksize, emit) -> None:
+        with ctx.Pool(processes=workers, initializer=_pool_initializer,
+                      initargs=(fn,)) as pool:
+            for slot, trial in pool.imap_unordered(_pool_trial, tasks,
+                                                   chunksize=chunksize):
+                emit(slot, trial)
+
+    @staticmethod
+    def auto_chunksize(pending: int, workers: int) -> int:
+        """Finer chunks (~16 per worker): chunks are the stealing unit."""
+        return max(1, min(64, -(-pending // (16 * workers))))
+
+
+#: ``--schedule`` name -> scheduler class.
+SCHEDULERS: dict[str, type[TrialScheduler]] = {
+    OrderedScheduler.name: OrderedScheduler,
+    WorkStealingScheduler.name: WorkStealingScheduler,
+}
+
+
+def resolve_scheduler(schedule) -> TrialScheduler:
+    """A scheduler instance from a name, class, or instance."""
+    if isinstance(schedule, TrialScheduler):
+        return schedule
+    if isinstance(schedule, type) and issubclass(schedule, TrialScheduler):
+        return schedule()
+    try:
+        return SCHEDULERS[schedule]()
+    except KeyError:
+        raise ValueError(
+            f"unknown schedule {schedule!r}; choose from "
+            f"{sorted(SCHEDULERS)}") from None
+
+
+#: Per-worker trial function, installed once by the pool initializer so
+#: each task message carries only (slot, point, index, seed).
+_worker_fn: Callable[[dict, int], Any] | None = None
+
+
+def _pool_initializer(fn: Callable[[dict, int], Any]) -> None:
+    global _worker_fn
+    _worker_fn = fn
+
+
+def _pool_trial(task: Task) -> tuple[int, Trial]:
+    slot, point, trial_index, seed = task
+    start = time.perf_counter()
+    raw = _worker_fn(dict(point), seed)
+    elapsed = time.perf_counter() - start
+    return slot, _normalize(raw, dict(point), trial_index, seed, elapsed)

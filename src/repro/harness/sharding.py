@@ -1,0 +1,145 @@
+"""Deterministic multi-host partitioning of a sweep's (point, trial) grid.
+
+A *shard* is one host's slice of a sweep.  The partition is a pure
+function of grid coordinates — shard ``I/N`` owns exactly the pairs
+whose flattened index ``point_index * trials + trial_index`` is
+congruent to ``I`` mod ``N`` — so:
+
+* the N slices are disjoint and jointly exhaustive by construction
+  (property-tested in ``tests/test_sharding.py``);
+* seeds are untouched: each trial's seed still derives from
+  ``(master_seed, point_index, trial_index)`` exactly as in an
+  unsharded run, so shard outputs are bit-identical to the
+  corresponding slice of a single-host run;
+* round-robin interleaving balances skewed grids — adjacent trials of
+  one expensive point land on different hosts instead of one host
+  drawing the whole n=8192 column.
+
+Each host runs ``repro sweep --shard I/N --store-backend sharded
+--store DIR`` against the same master seed; :func:`merge_stores` (CLI:
+``repro merge``) then fuses the shard stores into one canonical JSONL
+with duplicate/conflict/completeness checks.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.harness.runner import Trial
+from repro.harness.store.base import TrialStore, canonical_order
+
+__all__ = ["ShardSpec", "merge_stores"]
+
+_SHARD_RE = re.compile(r"^\s*(\d+)\s*/\s*(\d+)\s*$")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Shard ``index`` of ``count`` cooperating hosts."""
+
+    index: int
+    count: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"shard index must be in [0, {self.count}), got {self.index}")
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI form ``"I/N"`` (0-based index)."""
+        match = _SHARD_RE.match(text)
+        if not match:
+            raise ValueError(
+                f"shard must look like I/N (e.g. 0/4), got {text!r}")
+        return cls(int(match.group(1)), int(match.group(2)))
+
+    @classmethod
+    def coerce(cls, value) -> "ShardSpec | None":
+        """``None``, a spec, an ``"I/N"`` string, or an ``(i, n)`` pair."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        index, count = value
+        return cls(int(index), int(count))
+
+    def owns(self, point_index: int, trial_index: int, trials: int) -> bool:
+        """Whether this shard runs the given grid coordinate."""
+        return (point_index * trials + trial_index) % self.count == self.index
+
+    @property
+    def label(self) -> str:
+        """Stable writer label for shard store filenames."""
+        return f"{self.index}of{self.count}"
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+def merge_stores(sources: list[TrialStore], dest: TrialStore | None = None,
+                 *, expect_trials: int | None = None,
+                 expect_points: int | None = None) -> list[Trial]:
+    """Fuse shard stores into one canonical record sequence.
+
+    Reads every source, de-duplicates by trial identity, and verifies:
+
+    * duplicate identities must agree on their canonical record
+      (seeds are deterministic, so disagreement means the shards ran
+      different sweeps — a hard error, not a silent pick);
+    * per grid point, trial indices must be contiguous from 0 (a gap
+      means a shard is missing from ``sources``);
+    * with ``expect_trials``, every point must hold exactly that many
+      trials, and with ``expect_points``, exactly that many distinct
+      points must appear.  Pass both for a full joint-exhaustiveness
+      check: the per-point checks alone cannot notice a grid point
+      *entirely* absent (e.g. ``trials=1`` round-robins whole points
+      onto single shards, so a missing shard store drops its points
+      without leaving a gap).
+
+    Returns the merged trials in canonical order; when ``dest`` is
+    given it is cleared and rewritten with them, making its JSONL
+    byte-identical to a serial ordered run of the same sweep (up to
+    the wall-clock ``elapsed_s`` field) for canonically-ordered grids.
+    """
+    merged: dict[tuple, Trial] = {}
+    for store in sources:
+        for trial in store.load():
+            key = trial.key()
+            kept = merged.get(key)
+            if kept is None:
+                merged[key] = trial
+            elif kept.canonical_json() != trial.canonical_json():
+                raise ValueError(
+                    f"shard disagreement for trial {key}: records differ "
+                    f"beyond elapsed_s — the shards did not run the same "
+                    f"seeded sweep")
+    trials = canonical_order(merged.values())
+
+    by_point: dict[tuple, list[int]] = {}
+    for trial in trials:
+        point_key = tuple(sorted(trial.point.items()))
+        by_point.setdefault(point_key, []).append(trial.trial_index)
+    if expect_points is not None and len(by_point) != expect_points:
+        raise ValueError(
+            f"incomplete merge: expected {expect_points} grid points, "
+            f"found {len(by_point)} — is a shard store missing?")
+    for point_key, indices in by_point.items():
+        if sorted(indices) != list(range(len(indices))):
+            raise ValueError(
+                f"incomplete merge at point {dict(point_key)}: trial "
+                f"indices {sorted(indices)} are not contiguous from 0 — "
+                f"is a shard store missing?")
+        if expect_trials is not None and len(indices) != expect_trials:
+            raise ValueError(
+                f"incomplete merge at point {dict(point_key)}: expected "
+                f"{expect_trials} trials, found {len(indices)}")
+
+    if dest is not None:
+        dest.clear()
+        for trial in trials:
+            dest.append(trial)
+    return trials

@@ -1,0 +1,109 @@
+"""The trial-store backend contract and canonical record ordering.
+
+A *store backend* persists completed :class:`~repro.harness.runner.Trial`
+records and replays them for resume.  The contract is append-only:
+``append`` must be durable per record (a crash loses at most the record
+being written), ``load`` must tolerate a torn final record per storage
+unit, and ``clear`` resets the store for a fresh sweep.
+
+Canonical order
+---------------
+Schedulers (:mod:`repro.harness.scheduler`) may complete trials out of
+submission order, and sharded sweeps write to several files at once, so
+*file* order is an execution detail — the store file doubles as a
+write-ahead completion log.  The deterministic, execution-independent
+order of a sweep's records is :func:`canonical_order`: sorted by
+``Trial.key()`` — ``(sorted point items, trial_index)``.  For a grid
+whose points enumerate in ascending axis order (the common case, e.g.
+``--sizes 64,128,256``) this coincides with grid order, so a serial
+ordered run's JSONL file is already canonical.
+
+Backends register in :data:`STORE_BACKENDS` so the CLI's
+``--store-backend`` choices and :func:`make_store` stay in sync with
+the implementations without the CLI importing each one.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.runner import Trial
+
+__all__ = ["TrialStore", "STORE_BACKENDS", "canonical_order", "make_store"]
+
+
+def canonical_order(trials: Iterable["Trial"]) -> list["Trial"]:
+    """Trials sorted into the deterministic cross-backend order.
+
+    Sorting key is :meth:`Trial.key` — ``(sorted point items,
+    trial_index)`` — so any scheduler/store/shard combination of the
+    same sweep canonicalises to the same sequence.
+    """
+    return sorted(trials, key=lambda t: t.key())
+
+
+class TrialStore(abc.ABC):
+    """Abstract append-only store of :class:`~repro.harness.runner.Trial`.
+
+    Concrete backends: :class:`~repro.harness.store.JsonlStore` (one
+    JSONL file, the historical format), :class:`~repro.harness.store.
+    ShardedStore` (one append-only shard file per writer under a
+    directory), and :class:`~repro.harness.store.MemoryStore` (tests).
+
+    Backwards compatibility: ``TrialStore(path)`` — the pre-backend
+    spelling — constructs a :class:`JsonlStore`, so existing scripts
+    keep working unchanged.
+    """
+
+    def __new__(cls, *args, **kwargs):
+        if cls is TrialStore:
+            from repro.harness.store.jsonl import JsonlStore
+
+            return object.__new__(JsonlStore)
+        return object.__new__(cls)
+
+    @abc.abstractmethod
+    def append(self, trial: "Trial") -> None:
+        """Durably record one completed trial."""
+
+    @abc.abstractmethod
+    def load(self) -> list["Trial"]:
+        """All stored trials; a torn final record (crash) is skipped."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Delete the stored records (for tests and fresh sweeps)."""
+
+    def load_canonical(self) -> list["Trial"]:
+        """:meth:`load` re-ordered into :func:`canonical_order`."""
+        return canonical_order(self.load())
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+#: ``--store-backend`` name -> factory taking the CLI ``--store`` path.
+STORE_BACKENDS: dict[str, Callable[..., TrialStore]] = {}
+
+
+def register_backend(name: str):
+    """Class decorator adding a backend to :data:`STORE_BACKENDS`."""
+
+    def decorate(cls):
+        STORE_BACKENDS[name] = cls
+        return cls
+
+    return decorate
+
+
+def make_store(backend: str, path, **kwargs) -> TrialStore:
+    """Instantiate a registered backend by name (the CLI's entry)."""
+    try:
+        factory = STORE_BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown store backend {backend!r}; choose from "
+            f"{sorted(STORE_BACKENDS)}") from None
+    return factory(path, **kwargs)

@@ -1,0 +1,100 @@
+"""The single-file JSONL backend (the historical ``TrialStore`` format).
+
+Long sweeps (hours at large n) must survive interruption: every
+completed trial is appended as one JSON line, and a rerun of the same
+sweep skips trials whose (point, trial index) already appear.  JSONL
+keeps the file append-only — a crash can at worst truncate the final
+line, which :meth:`JsonlStore.load` tolerates by skipping it.
+
+The on-disk format is unchanged from the pre-backend ``TrialStore``:
+one ``json.dumps(trial.to_json(), sort_keys=True)`` per line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.harness.runner import Trial
+from repro.harness.store.base import TrialStore, register_backend
+
+__all__ = ["JsonlStore"]
+
+
+@register_backend("jsonl")
+class JsonlStore(TrialStore):
+    """Append-only JSONL store of :class:`~repro.harness.runner.Trial`.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "trials.jsonl")
+    >>> store = JsonlStore(path)
+    >>> store.append(Trial(point={"n": 8}, trial_index=0, seed=1,
+    ...                    success=True, metrics={"rounds": 12.0}))
+    >>> [t.metrics["rounds"] for t in store.load()]
+    [12.0]
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def append(self, trial: Trial) -> None:
+        """Append one trial (creates the file and parents on first use)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(trial.to_json(), sort_keys=True))
+            fh.write("\n")
+
+    def load(self) -> list[Trial]:
+        """All stored trials; a torn final line (crash) is skipped."""
+        if not self.path.exists():
+            return []
+        with self.path.open("r", encoding="utf-8") as fh:
+            lines = [ln.strip() for ln in fh]
+        return parse_jsonl_lines([ln for ln in lines if ln])
+
+    def clear(self) -> None:
+        """Delete the store file (for tests and fresh sweeps)."""
+        if self.path.exists():
+            os.unlink(self.path)
+
+    def __len__(self) -> int:
+        """Record count without decoding any JSON.
+
+        Counts complete (newline-terminated, non-blank) lines — O(file
+        bytes) instead of the O(file) *JSON decode* a full ``load()``
+        costs.  A torn tail line from a crash has no terminator and is
+        excluded, matching what ``load()`` would return.
+        """
+        return count_complete_lines(self.path)
+
+
+def count_complete_lines(path) -> int:
+    """Complete (newline-terminated, non-blank) lines of a JSONL file.
+
+    The cheap-``__len__`` primitive shared by the file-backed stores;
+    0 for a nonexistent file.
+    """
+    if not path.exists():
+        return 0
+    count = 0
+    with path.open("rb") as fh:
+        for line in fh:
+            if line.endswith(b"\n") and line.strip():
+                count += 1
+    return count
+
+
+def parse_jsonl_lines(lines: list[str]) -> list[Trial]:
+    """Decode stripped JSONL lines, tolerating only a torn final line."""
+    out: list[Trial] = []
+    for index, line in enumerate(lines):
+        try:
+            out.append(Trial.from_json(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, ValueError):
+            if index == len(lines) - 1:
+                break  # torn tail from a crash mid-append
+            raise  # mid-file corruption is worth surfacing
+    return out

@@ -1,0 +1,34 @@
+"""In-process store backend for tests and throwaway sweeps."""
+
+from __future__ import annotations
+
+from repro.harness.runner import Trial
+from repro.harness.store.base import TrialStore, register_backend
+
+__all__ = ["MemoryStore"]
+
+
+@register_backend("memory")
+class MemoryStore(TrialStore):
+    """A list in memory with the :class:`TrialStore` contract.
+
+    Supports resume within one process (rerunning the same sweep on
+    the same instance skips recorded trials); nothing survives the
+    interpreter.  The ``path`` argument is accepted and ignored so the
+    backend factory signature matches the file-backed stores.
+    """
+
+    def __init__(self, path=None):
+        self._trials: list[Trial] = []
+
+    def append(self, trial: Trial) -> None:
+        self._trials.append(trial)
+
+    def load(self) -> list[Trial]:
+        return list(self._trials)
+
+    def clear(self) -> None:
+        self._trials.clear()
+
+    def __len__(self) -> int:
+        return len(self._trials)

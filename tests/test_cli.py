@@ -248,6 +248,32 @@ class TestSweepCommand:
 
         assert canonical(serial_store) == canonical(parallel_store)
 
+    def test_sweep_work_stealing_matches_serial_canonically(
+            self, capsys, tmp_path):
+        """--schedule work-stealing changes write order, not records."""
+        args = ("sweep", "--algorithm", "dra", "--engine", "fast",
+                "--sizes", "48,64", "--trials", "4", "--c", "8",
+                "--delta", "1.0", "--seed", "5", "--json")
+        serial_store = tmp_path / "serial.jsonl"
+        stolen_store = tmp_path / "stolen.jsonl"
+        code_s, out_s, _ = run_cli(capsys, *args, "--store", str(serial_store))
+        code_w, out_w, _ = run_cli(capsys, *args, "--jobs", "2",
+                                   "--schedule", "work-stealing",
+                                   "--store", str(stolen_store))
+        assert code_s == code_w == 0
+        # The aggregate table is computed from the runner's schedule-
+        # ordered return value, so it is identical verbatim.
+        assert json.loads(out_s)["rows"] == json.loads(out_w)["rows"]
+
+        def canonical(path):
+            records = [json.loads(line) for line in
+                       path.read_text().splitlines() if line]
+            for r in records:
+                r.pop("elapsed_s", None)
+            return sorted(json.dumps(r, sort_keys=True) for r in records)
+
+        assert canonical(serial_store) == canonical(stolen_store)
+
     def test_sweep_store_resume_skips_completed(self, capsys, tmp_path):
         store = tmp_path / "resume.jsonl"
         args = ("sweep", "--algorithm", "dra", "--engine", "fast",

@@ -1,10 +1,16 @@
 """Seed-for-seed parity: the array kernel vs the pure-Python walker.
 
 The ``fast`` engine (array kernel, :mod:`repro.engines.arraywalk`) and
-``fast-py`` (the original Python walker, kept as the parity oracle)
-must make *identical decisions*: same RNG draws in the same order, so
-same success flag, cycle, steps, rounds, and failure codes — across
-graph models, sizes, and densities, on successes and failures alike.
+the original pure-Python walkers must make *identical decisions*: same
+RNG draws in the same order, so same success flag, cycle, steps,
+rounds, and failure codes — across graph models, sizes, and densities,
+on successes and failures alike.
+
+The walkers spent their one deprecation release registered as
+``engine="fast-py"``; that registry entry is retired, and they now
+live on *only* as this suite's oracles, imported directly
+(``_dra_fast_py`` / ``_dhc2_fast_py``) rather than dispatched through
+``repro.run``.
 
 The kernel's tree helpers are also checked structurally against the
 Python originals, since round accounting flows through them.
@@ -17,7 +23,13 @@ import pytest
 
 import repro
 from repro.engines.arraywalk import build_array_tree, edge_twins, gather_neighbors
-from repro.engines.fast import bfs_completion_round, build_min_id_bfs_tree
+from repro.engines.fast import (
+    _dra_fast_py,
+    bfs_completion_round,
+    build_min_id_bfs_tree,
+)
+from repro.engines.fast_dhc2 import _dhc2_fast_py
+from repro.engines.registry import REGISTRY
 from repro.graphs import (
     gnm_random_graph,
     gnp_random_graph,
@@ -63,7 +75,7 @@ class TestDraParity:
         for seed in (1, 7):
             g = sample(model, n, factor, seed)
             kernel = repro.run(g, "dra", engine="fast", seed=seed)
-            oracle = repro.run(g, "dra", engine="fast-py", seed=seed)
+            oracle = _dra_fast_py(g, seed=seed)
             assert_parity(
                 kernel, oracle, f"dra {model} n={n} factor={factor} seed={seed}",
                 detail_keys=("fail_codes", "rotations", "extensions", "retries"))
@@ -72,7 +84,7 @@ class TestDraParity:
     def test_step_budget_failure_matches(self):
         g = sample("gnp", 64, 8.0, seed=3)
         kernel = repro.run(g, "dra", engine="fast", seed=3, step_budget=5)
-        oracle = repro.run(g, "dra", engine="fast-py", seed=3, step_budget=5)
+        oracle = _dra_fast_py(g, seed=3, step_budget=5)
         assert not kernel.success
         assert_parity(kernel, oracle, "dra budget", detail_keys=("fail_codes",))
 
@@ -92,7 +104,7 @@ class TestDhc2Parity:
         for seed in (1, 7):
             g = sample(model, n, factor, seed)
             kernel = repro.run(g, "dhc2", engine="fast", k=k, seed=seed)
-            oracle = repro.run(g, "dhc2", engine="fast-py", k=k, seed=seed)
+            oracle = _dhc2_fast_py(g, k=k, seed=seed)
             assert_parity(kernel, oracle,
                           f"dhc2 {model} n={n} seed={seed}",
                           detail_keys=("fail", "k", "levels"))
@@ -101,9 +113,22 @@ class TestDhc2Parity:
         for seed in (2, 9):
             g = sample("gnp", 64, 1.0, seed)
             kernel = repro.run(g, "dhc2", engine="fast", k=8, seed=seed)
-            oracle = repro.run(g, "dhc2", engine="fast-py", k=8, seed=seed)
+            oracle = _dhc2_fast_py(g, k=8, seed=seed)
             assert_parity(kernel, oracle, f"dhc2 sparse seed={seed}",
                           detail_keys=("fail",))
+
+
+class TestFastPyRetirement:
+    """The deprecation release is over: fast-py is no longer dispatchable."""
+
+    def test_fast_py_absent_from_registry(self):
+        assert "fast-py" not in REGISTRY.engine_names()
+        with pytest.raises(ValueError, match="no 'fast-py' engine"):
+            REGISTRY.get("dra", "fast-py")
+
+    def test_oracles_stay_importable(self):
+        g = sample("gnp", 16, 8.0, seed=1)
+        assert _dra_fast_py(g, seed=1).engine == "fast-py"
 
 
 class TestTreeHelpers:

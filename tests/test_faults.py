@@ -188,3 +188,58 @@ class TestSafetyUnderFaults:
             assert is_hamiltonian_cycle(graph, result.cycle)
         else:
             assert result.cycle is None
+
+
+class TestRegistryFaultPlan:
+    """fault_plan is a declared registry capability (ROADMAP item):
+    sweeps mix fault scenarios without importing repro.congest.faults
+    at call sites, and engine="auto" steers such runs onto the
+    simulator — the only engine that can inject."""
+
+    def test_repro_run_accepts_fault_plan(self):
+        import repro
+
+        graph = _graph(n=32, seed=9)
+        result = repro.run(graph, "dra", seed=2,
+                           fault_plan=FaultPlan(drop_probability=1.0))
+        assert result.engine == "congest"  # auto-steered to the simulator
+        assert not result.success
+        assert result.detail["faults"]["dropped"] > 0
+
+    def test_benign_plan_preserves_native_decisions(self):
+        import repro
+
+        graph = _graph()
+        native = run_dra(graph, seed=3)
+        observed = repro.run(graph, "dra", engine="congest", seed=3,
+                             fault_plan=FaultPlan())
+        assert observed.success == native.success
+        assert observed.cycle == native.cycle
+        assert observed.rounds == native.rounds
+        assert observed.detail["faults"]["offered"] > 0
+        assert observed.detail["faults"]["dropped"] == 0
+
+    def test_every_congest_hc_spec_declares_fault_plan(self):
+        from repro.engines.registry import REGISTRY
+
+        for algorithm in ("dra", "dhc1", "dhc2"):
+            spec = REGISTRY.get(algorithm, "congest")
+            assert "fault_plan" in spec.supported_kwargs, algorithm
+
+    def test_fast_engine_rejects_fault_plan(self):
+        from repro.engines.registry import REGISTRY
+
+        with pytest.raises(ValueError, match="does not support"):
+            REGISTRY.resolve("dra", "fast", require=["fault_plan"])
+
+    def test_composes_with_existing_network_hook(self):
+        from repro.congest.faults import compose_fault_hook
+
+        seen = []
+        hook, injector = compose_fault_hook(
+            FaultPlan(drop_probability=1.0), network_hook=seen.append)
+        graph = _graph(n=24, seed=4)
+        result = run_dra(graph, seed=4, network_hook=hook)
+        assert len(seen) == 1  # the caller's hook still ran
+        assert not result.success
+        assert injector.dropped > 0
