@@ -7,8 +7,6 @@ rounds vs n should track delta — larger delta (sparser graphs) means
 more rounds, and the ordering across deltas at fixed n must match.
 """
 
-import math
-
 import repro
 from repro.graphs import gnp_random_graph, paper_probability
 

@@ -457,10 +457,17 @@ def _open_source_store(path_text: str):
 
     path = Path(path_text)
     if path.is_dir():
-        return ShardedStore(path)
+        store = ShardedStore(path)
+        if not store.shard_paths():
+            # An empty directory must not masquerade as an empty store —
+            # that would silently drop a shard's records from the merge.
+            raise ValueError(
+                f"merge source {path_text!r} contains no shard files "
+                f"(shard-*.jsonl); did the sweep run with "
+                f"--store-backend sharded --store {path_text}?")
+        return store
     if not path.exists():
-        # A typo'd path must not masquerade as an empty store — that
-        # would silently drop a shard's records from the merge.
+        # Same reasoning for a typo'd path.
         raise ValueError(f"merge source {path_text!r} does not exist")
     return JsonlStore(path)
 
@@ -469,7 +476,7 @@ def _cmd_merge(args) -> int:
     sources = [_open_source_store(p) for p in args.sources]
     dest = JsonlStore(args.out)
     trials = merge_stores(sources, dest, expect_trials=args.trials,
-                          expect_points=args.points)
+                          expect_points=args.points, require_records=True)
     points = {tuple(sorted(t.point.items())) for t in trials}
     if args.json:
         print(json.dumps({

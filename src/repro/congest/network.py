@@ -19,7 +19,7 @@ activity rather than ``n * rounds``.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable
 
 import numpy as np
 

@@ -1,9 +1,13 @@
-"""The paper's algorithms: DRA, DHC1, DHC2, Upcast, and the trivial baseline."""
+"""The paper's algorithms (DRA, DHC1, DHC2, Upcast, the trivial
+baseline) plus the absorbed related-work solvers (Turau path merging,
+Alon–Krivelevich CRE)."""
 
+from repro.core.cre import run_cre
 from repro.core.dhc1 import Dhc1Protocol, default_sqrt_colors, run_dhc1
 from repro.core.dhc2 import Dhc2Protocol, default_color_count, run_dhc2
 from repro.core.dra import DraProtocol, run_dra
 from repro.core.rotation import RotationWalk, VirtualEdge
+from repro.core.turau import TurauProtocol, run_turau
 from repro.core.upcast import UpcastProtocol, run_trivial, run_upcast, upcast_sample_size
 from repro.engines.results import RunResult
 from repro.graphs.adjacency import Graph
@@ -14,11 +18,14 @@ __all__ = [
     "run_dhc2",
     "run_upcast",
     "run_trivial",
+    "run_turau",
+    "run_cre",
     "find_hamiltonian_cycle",
     "DraProtocol",
     "Dhc1Protocol",
     "Dhc2Protocol",
     "UpcastProtocol",
+    "TurauProtocol",
     "RotationWalk",
     "VirtualEdge",
     "RunResult",
@@ -33,6 +40,8 @@ _ALGORITHMS = {
     "dhc2": run_dhc2,
     "upcast": run_upcast,
     "trivial": run_trivial,
+    "turau": run_turau,
+    "cre": run_cre,
 }
 
 

@@ -290,12 +290,10 @@ class PartitionedPhase1Protocol(Protocol, SubMachineHost):
         self._outqueue.clear()
 
     def _flush_abort(self, ctx: Context) -> None:
-        sent_any = False
         for peer in sorted(self._abort_pending):
             if ctx.edge_free(peer):
                 ctx.send(peer, "ab")
                 self._abort_pending.discard(peer)
-                sent_any = True
         if self._abort_pending:
             ctx.request_wake(ctx.round_index + 1)
         else:

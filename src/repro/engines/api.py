@@ -82,10 +82,13 @@ class EngineSpec:
         (``audit_memory=True``).
     parity:
         Result fields (``"cycle"``, ``"steps"``, ``"rounds"``)
-        guaranteed seed-for-seed identical to the congest reference for
-        the same algorithm on successful runs (failure paths may
-        account partial work differently).  Empty for the congest
-        engine itself and for engines with no congest counterpart.
+        guaranteed seed-for-seed identical to the algorithm's
+        *reference* engine — ``congest`` where one is registered,
+        else ``sequential`` — on successful runs (failure paths may
+        account partial work differently).  Empty for reference
+        engines themselves and for engines with no reference
+        counterpart; every non-empty declaration is enforced by
+        ``tests/test_engine_parity.py``'s registry parity gate.
     priority:
         ``engine="auto"`` preference (higher wins); defaults to
         :data:`ENGINE_PRIORITY` for the standard engine names.

@@ -389,7 +389,6 @@ class _FastWalk:
             return "retry", head
         # Rotation at j = tpos + 1 (1-based), head at h: reverse positions
         # j+1..h, i.e. list indices tpos+1 .. h-1.
-        j = tpos + 1
         seg = self._path[tpos + 1:]
         seg.reverse()
         self._path[tpos + 1:] = seg

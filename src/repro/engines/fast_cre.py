@@ -1,0 +1,139 @@
+"""Fast-engine CRE: the same moves on CSR position arrays.
+
+Replays :mod:`repro.core.cre`'s decision sequence (see that module's
+decision contract) with the data layout of the array kernel: an int64
+path array plus position map (rotation = one slice reversal plus one
+fancy-indexed update, exactly like :class:`~repro.engines.arraywalk.
+ArrayWalk`), a vectorised unvisited-degree array maintained by one
+scatter-subtract per visit, and candidate scans as masked CSR row
+slices — the "vectorised rotation scan" that makes the solver usable
+at sweep sizes.  Same single RNG stream, same draw order, hence
+seed-for-seed identical cycle, steps, and failure codes (the registry
+``parity`` declaration, held by ``tests/test_engine_parity.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cre import (
+    CRE_FAIL_BUDGET,
+    CRE_FAIL_CUT_OFF,
+    CRE_FAIL_STRANDED,
+    CRE_FAIL_TOO_SMALL,
+    cre_step_budget,
+)
+from repro.engines.results import RunResult
+from repro.graphs.adjacency import Graph
+from repro.verify.hamiltonicity import CycleViolation, verify_cycle
+
+__all__ = ["_cre_fast"]
+
+
+def _cre_fast(
+    graph: Graph,
+    *,
+    seed: int = 0,
+    step_budget: int | None = None,
+) -> RunResult:
+    """The CRE solver on CSR arrays; see module docstring."""
+    n = graph.n
+    detail = {"fail": None, "extensions": 0, "rotations": 0,
+              "cycle_extensions": 0}
+    if n < 3:
+        detail["fail"] = CRE_FAIL_TOO_SMALL
+        return RunResult("cre", False, None, 0, engine="fast", detail=detail)
+    budget = step_budget if step_budget is not None else cre_step_budget(n)
+    rng = np.random.default_rng(seed)
+    indptr, indices = graph.indptr, graph.indices
+
+    path = np.empty(n, dtype=np.int64)
+    pos = np.full(n, -1, dtype=np.int64)
+    ramp = np.arange(n, dtype=np.int64)
+    unvisited_degree = (indptr[1:] - indptr[:-1]).astype(np.int64)
+
+    def row_of(v: int) -> np.ndarray:
+        return indices[indptr[v]:indptr[v + 1]]
+
+    start = int(rng.integers(n))
+    path[0] = start
+    pos[start] = 0
+    plen = 1
+    unvisited_degree[row_of(start)] -= 1
+
+    steps = 0
+    ok = False
+    while True:
+        head = int(path[plen - 1])
+        tail = int(path[0])
+        row = row_of(head)
+        closes = bool((row == tail).any())
+        # Closure precedes the budget gate (see the reference
+        # implementation): it is the termination condition, not a move.
+        if plen == n and closes:
+            ok = True
+            break
+        if steps >= budget:
+            detail["fail"] = CRE_FAIL_BUDGET
+            break
+        steps += 1
+        fresh = row[pos[row] < 0]
+        if fresh.size:
+            target = int(fresh[rng.integers(fresh.size)])
+            pos[target] = plen
+            path[plen] = target
+            plen += 1
+            unvisited_degree[row_of(target)] -= 1
+            detail["extensions"] += 1
+            continue
+        if closes and plen < n:
+            # Cycle extension: re-open the (head, tail) cycle at a
+            # pivot with an unvisited neighbour, in path order.
+            on_path = path[:plen]
+            pivots = on_path[unvisited_degree[on_path] > 0]
+            if pivots.size == 0:
+                detail["fail"] = CRE_FAIL_CUT_OFF
+                break
+            pivot = int(pivots[rng.integers(pivots.size)])
+            pivot_row = row_of(pivot)
+            targets = pivot_row[pos[pivot_row] < 0]
+            target = int(targets[rng.integers(targets.size)])
+            i = int(pos[pivot])
+            path[:plen] = np.concatenate((path[i + 1:plen], path[:i + 1]))
+            pos[path[:plen]] = ramp[:plen]
+            pos[target] = plen
+            path[plen] = target
+            plen += 1
+            unvisited_degree[row_of(target)] -= 1
+            detail["cycle_extensions"] += 1
+            continue
+        # Rotation: a random on-path neighbour of the head, excluding
+        # the head's predecessor.
+        pred = int(path[plen - 2]) if plen >= 2 else -1
+        pivots = row[(pos[row] >= 0) & (row != pred)]
+        if pivots.size == 0:
+            detail["fail"] = CRE_FAIL_STRANDED
+            break
+        pivot = int(pivots[rng.integers(pivots.size)])
+        j = int(pos[pivot])
+        path[j + 1:plen] = path[j + 1:plen][::-1].copy()
+        pos[path[j + 1:plen]] = ramp[j + 1:plen]
+        detail["rotations"] += 1
+
+    cycle = None
+    if ok:
+        cycle = path[:plen].tolist()
+        try:
+            verify_cycle(graph, cycle)
+        except CycleViolation:
+            ok, cycle = False, None
+            detail["fail"] = CRE_FAIL_STRANDED
+    return RunResult(
+        algorithm="cre",
+        success=ok,
+        cycle=cycle,
+        rounds=0,
+        steps=steps,
+        engine="fast",
+        detail=detail,
+    )

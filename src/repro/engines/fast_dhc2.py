@@ -24,14 +24,13 @@ Phase 2 is deterministic and shared verbatim by both.
 
 from __future__ import annotations
 
-import math
 import warnings
 
 import numpy as np
 
 from repro.analysis.bounds import diameter_budget, dra_step_budget
 from repro.core.dhc2 import default_color_count
-from repro.core.phase1 import color_at_level, colors_at_level, merge_levels
+from repro.core.phase1 import colors_at_level, merge_levels
 from repro.engines.fast import _FastWalk, bfs_completion_round, build_min_id_bfs_tree
 from repro.engines.results import RunResult
 from repro.graphs.adjacency import Graph, csr_sources

@@ -20,7 +20,7 @@ the message-level congest simulator (the only engine that can audit).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable
 
 from repro.engines.api import EngineSpec
 from repro.engines.results import RunResult
@@ -66,6 +66,25 @@ def _builtin_specs() -> list[EngineSpec]:
         # importable (repro.engines.fast:_dra_fast_py,
         # repro.engines.fast_dhc2:_dhc2_fast_py) as the parity suite's
         # test-only oracles but are no longer dispatch targets.
+        # -- related-work algorithms (ROADMAP: absorbed as registry entries) ----
+        EngineSpec("turau", "congest", "repro.core.turau:run_turau",
+                   supported_kwargs=("phase_budget", *_CONGEST_COMMON),
+                   kmachine_convertible=True, audits_memory=True,
+                   summary="Turau path merging (arXiv:1805.06728) in the "
+                           "message-level simulator"),
+        EngineSpec("turau", "fast", "repro.engines.fast_turau:_turau_fast",
+                   supported_kwargs=("phase_budget",),
+                   parity=("cycle", "steps"),
+                   summary="Turau path merging replayed on link arrays"),
+        EngineSpec("cre", "sequential", "repro.core.cre:run_cre",
+                   supported_kwargs=("step_budget",),
+                   summary="Alon-Krivelevich CRE solver (arXiv:1903.03007), "
+                           "scalar reference"),
+        EngineSpec("cre", "fast", "repro.engines.fast_cre:_cre_fast",
+                   supported_kwargs=("step_budget",),
+                   parity=("cycle", "steps"),
+                   summary="Alon-Krivelevich CRE solver on CSR position "
+                           "arrays"),
         # -- the paper's centralized algorithms --------------------------------
         EngineSpec("upcast", "congest", "repro.core:run_upcast",
                    supported_kwargs=("c_prime", "solver_restarts",

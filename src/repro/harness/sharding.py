@@ -82,7 +82,8 @@ class ShardSpec:
 
 def merge_stores(sources: list[TrialStore], dest: TrialStore | None = None,
                  *, expect_trials: int | None = None,
-                 expect_points: int | None = None) -> list[Trial]:
+                 expect_points: int | None = None,
+                 require_records: bool = False) -> list[Trial]:
     """Fuse shard stores into one canonical record sequence.
 
     Reads every source, de-duplicates by trial identity, and verifies:
@@ -98,7 +99,10 @@ def merge_stores(sources: list[TrialStore], dest: TrialStore | None = None,
       check: the per-point checks alone cannot notice a grid point
       *entirely* absent (e.g. ``trials=1`` round-robins whole points
       onto single shards, so a missing shard store drops its points
-      without leaving a gap).
+      without leaving a gap);
+    * with ``require_records``, an entirely empty merge is an error —
+      ``dest`` is left untouched, so a failed or misdirected sweep
+      never produces a plausible-looking empty store.
 
     Returns the merged trials in canonical order; when ``dest`` is
     given it is cleared and rewritten with them, making its JSONL
@@ -118,6 +122,10 @@ def merge_stores(sources: list[TrialStore], dest: TrialStore | None = None,
                     f"beyond elapsed_s — the shards did not run the same "
                     f"seeded sweep")
     trials = canonical_order(merged.values())
+    if require_records and not trials:
+        raise ValueError(
+            "no trial records found in the source stores; refusing an "
+            "empty merge")
 
     by_point: dict[tuple, list[int]] = {}
     for trial in trials:

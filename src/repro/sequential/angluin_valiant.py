@@ -15,7 +15,7 @@ the start node when the path spans everything closes the cycle.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 

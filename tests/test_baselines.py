@@ -7,9 +7,6 @@ floor where DHC2 still works — the paper's headline comparison — and
 round-cheap but traffic-heavy, which is the whole point of footnote 6.
 """
 
-import math
-
-import pytest
 
 from repro.baselines import run_levy, run_local_collect
 from repro.baselines.levy import levy_density_requirement
@@ -133,7 +130,6 @@ class TestLocalCollectBaseline:
         n = 128
         graph = gnp_random_graph(n, paper_probability(n, 0.5, 6.0), seed=3)
         result = run_local_collect(graph, seed=3)
-        congest_cap = result.rounds * 2 * graph.m * (2 + math.ceil(math.log2(n)))
         assert result.bits > 0
         assert result.detail["leader_state_words"] == 2 * graph.m
         # Not necessarily above the *cap* (D can be tiny), but the bits

@@ -6,7 +6,7 @@ with a real distributed BFS tree — the way the algorithms use them.
 
 import pytest
 
-from repro.congest import Message, Network, Protocol
+from repro.congest import Network, Protocol
 from repro.graphs import gnp_random_graph
 from repro.primitives import BfsTree, Convergecast, SubMachineHost, TreeBroadcast
 

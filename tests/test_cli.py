@@ -176,6 +176,70 @@ class TestEnginesCommand:
         assert specs[("dra", "fast")]["kmachine_convertible"] is False
         assert "rounds" in specs[("dra", "fast")]["parity"]
 
+    def test_engines_listing_includes_related_work_entries(self, capsys):
+        code, out, _ = run_cli(capsys, "engines", "--json")
+        specs = {(s["algorithm"], s["engine"]): s for s in json.loads(out)}
+        assert specs[("turau", "congest")]["kmachine_convertible"] is True
+        assert "fault_plan" in specs[("turau", "congest")]["supported_kwargs"]
+        assert specs[("turau", "fast")]["parity"] == ["cycle", "steps"]
+        assert specs[("cre", "fast")]["parity"] == ["cycle", "steps"]
+        assert specs[("cre", "sequential")]["kmachine_convertible"] is False
+        # And the human-readable table names them too.
+        code, out, _ = run_cli(capsys, "engines")
+        assert "turau" in out and "cre" in out
+
+
+class TestMergeCommand:
+    def _sweep_into(self, capsys, tmp_path, name):
+        shard_dir = tmp_path / name
+        code, _, _ = run_cli(
+            capsys, "sweep", "--algorithm", "dra", "--engine", "fast",
+            "--sizes", "24,32", "--trials", "2", "--c", "8",
+            "--delta", "1.0", "--seed", "3", "--store-backend", "sharded",
+            "--store", str(shard_dir), "--json")
+        assert code == 0
+        return shard_dir
+
+    def test_merge_nonexistent_source_is_a_clean_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "merge", str(tmp_path / "missing"),
+            "--out", str(tmp_path / "out.jsonl"))
+        assert code == 2
+        assert "does not exist" in err
+        assert not (tmp_path / "out.jsonl").exists()
+
+    def test_merge_empty_shard_directory_is_a_clean_error(
+            self, capsys, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code, _, err = run_cli(
+            capsys, "merge", str(empty), "--out", str(tmp_path / "out.jsonl"))
+        assert code == 2
+        assert "no shard files" in err
+        assert not (tmp_path / "out.jsonl").exists()
+
+    def test_merge_zero_records_refuses_empty_output(self, capsys, tmp_path):
+        # A JSONL file that exists but holds no records: the merge must
+        # not silently produce an empty store.
+        empty_file = tmp_path / "empty.jsonl"
+        empty_file.write_text("")
+        code, _, err = run_cli(
+            capsys, "merge", str(empty_file),
+            "--out", str(tmp_path / "out.jsonl"))
+        assert code == 2
+        assert "no trial records" in err
+        assert not (tmp_path / "out.jsonl").exists()
+
+    def test_merge_happy_path_still_works(self, capsys, tmp_path):
+        shard_dir = self._sweep_into(capsys, tmp_path, "shards")
+        out = tmp_path / "merged.jsonl"
+        code, text, _ = run_cli(
+            capsys, "merge", str(shard_dir), "--out", str(out),
+            "--trials", "2", "--points", "2", "--json")
+        assert code == 0
+        assert json.loads(text)["records"] == 4
+        assert out.exists()
+
 
 class TestSweepCommand:
     def test_sweep_fits_exponent(self, capsys):
@@ -273,6 +337,44 @@ class TestSweepCommand:
             return sorted(json.dumps(r, sort_keys=True) for r in records)
 
         assert canonical(serial_store) == canonical(stolen_store)
+
+    def test_sweep_related_algorithms_through_full_harness(
+            self, capsys, tmp_path):
+        """turau and cre run the whole orchestration stack unchanged.
+
+        Work-stealing schedule, two-shard sharded store, `repro merge`
+        with the joint-exhaustiveness check — and the merged JSONL is
+        canonically identical to a serial single-host sweep.
+        """
+        for algorithm, extra in (("turau", ()), ("cre", ())):
+            base = ("sweep", "--algorithm", algorithm, "--sizes", "24,32",
+                    "--trials", "3", "--delta", "0.5", "--c", "6",
+                    "--seed", "7", "--json", *extra)
+            serial_store = tmp_path / f"{algorithm}-serial.jsonl"
+            shard_dir = tmp_path / f"{algorithm}-shards"
+            merged = tmp_path / f"{algorithm}-merged.jsonl"
+            code, _, _ = run_cli(capsys, *base, "--store", str(serial_store))
+            assert code == 0
+            for shard in ("0/2", "1/2"):
+                code, _, _ = run_cli(
+                    capsys, *base, "--jobs", "2", "--schedule",
+                    "work-stealing", "--shard", shard,
+                    "--store-backend", "sharded", "--store", str(shard_dir))
+                assert code == 0
+            code, out, _ = run_cli(
+                capsys, "merge", str(shard_dir), "--out", str(merged),
+                "--trials", "3", "--points", "2", "--json")
+            assert code == 0
+            assert json.loads(out)["records"] == 6
+
+            def canonical(path):
+                records = [json.loads(line) for line in
+                           path.read_text().splitlines() if line]
+                for r in records:
+                    r.pop("elapsed_s", None)
+                return [json.dumps(r, sort_keys=True) for r in records]
+
+            assert canonical(serial_store) == canonical(merged), algorithm
 
     def test_sweep_store_resume_skips_completed(self, capsys, tmp_path):
         store = tmp_path / "resume.jsonl"

@@ -1,0 +1,107 @@
+"""The CRE solver: moves, failure codes, and threshold behaviour.
+
+Cross-engine parity lives in ``tests/test_engine_parity.py``; this
+module covers the algorithm itself.  The headline property is the
+paper's: CRE keeps working at densities just above the Hamiltonicity
+threshold where the plain rotation walks die, because the cycle-
+extension move escapes closed non-spanning cycles.
+"""
+
+import math
+
+import repro
+from repro.core.cre import (
+    CRE_FAIL_BUDGET,
+    CRE_FAIL_STRANDED,
+    CRE_FAIL_TOO_SMALL,
+    cre_step_budget,
+    run_cre,
+)
+from repro.graphs import gnp_random_graph
+from repro.verify.hamiltonicity import verify_cycle
+
+
+def threshold_graph(n: int, factor: float, seed: int):
+    return gnp_random_graph(n, min(1.0, factor * math.log(n) / n), seed=seed)
+
+
+class TestRunCre:
+    def test_finds_verified_cycle(self):
+        g = threshold_graph(128, 4.0, seed=1)
+        result = run_cre(g, seed=1)
+        assert result.success
+        verify_cycle(g, result.cycle)
+        assert result.rounds == 0 and result.engine == "sequential"
+        assert result.steps >= 128 - 1
+
+    def test_deterministic_seed_for_seed(self):
+        g = threshold_graph(96, 3.0, seed=2)
+        assert run_cre(g, seed=2).cycle == run_cre(g, seed=2).cycle
+
+    def test_move_counters_add_up(self):
+        g = threshold_graph(96, 2.0, seed=3)
+        result = run_cre(g, seed=3)
+        moves = (result.detail["extensions"] + result.detail["rotations"]
+                 + result.detail["cycle_extensions"])
+        # Closure is the termination condition, not a move: the
+        # breakdown accounts for every step exactly.
+        assert moves == result.steps
+
+    def test_closure_on_last_budgeted_move_succeeds(self):
+        # A Hamilton path completed by the final allowed move must
+        # close, not report a budget failure one comparison short.
+        g = threshold_graph(128, 4.0, seed=1)
+        full = run_cre(g, seed=1)
+        assert full.success
+        exact = run_cre(g, seed=1, step_budget=full.steps)
+        assert exact.success
+        assert exact.cycle == full.cycle
+        assert not run_cre(g, seed=1, step_budget=full.steps - 1).success
+
+    def test_too_small_graph(self):
+        result = run_cre(repro.Graph(2, [(0, 1)]), seed=1)
+        assert not result.success
+        assert result.detail["fail"] == CRE_FAIL_TOO_SMALL
+
+    def test_step_budget_exhaustion(self):
+        g = threshold_graph(128, 2.0, seed=4)
+        result = run_cre(g, seed=4, step_budget=5)
+        assert not result.success
+        assert result.steps == 5
+        assert result.detail["fail"] == CRE_FAIL_BUDGET
+
+    def test_stranded_on_a_star(self):
+        # A star has no Hamilton cycle; the walk strands at a leaf.
+        g = repro.Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        result = run_cre(g, seed=1)
+        assert not result.success
+        assert result.detail["fail"] == CRE_FAIL_STRANDED
+
+    def test_default_budget_scale(self):
+        assert cre_step_budget(256) >= 256
+        assert cre_step_budget(1024) > cre_step_budget(256)
+
+
+class TestThresholdBehaviour:
+    """The paper's selling point, measured: CRE outlives the walks."""
+
+    def test_beats_posa_near_threshold(self):
+        n, factor = 192, 2.5
+        cre_wins = posa_wins = 0
+        for seed in range(8):
+            g = threshold_graph(n, factor, seed)
+            cre_wins += repro.run(g, "cre", seed=seed).success
+            posa_wins += repro.run(g, "posa", seed=seed).success
+        assert cre_wins > posa_wins
+        assert cre_wins >= 6
+
+    def test_cycle_extensions_actually_fire_when_sparse(self):
+        fired = 0
+        for seed in range(8):
+            g = threshold_graph(128, 1.5, seed)
+            fired += run_cre(g, seed=seed).detail["cycle_extensions"]
+        assert fired > 0
+
+    def test_auto_engine_is_fast(self):
+        result = repro.run(threshold_graph(64, 4.0, 1), "cre", seed=1)
+        assert result.engine == "fast"

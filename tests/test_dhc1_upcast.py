@@ -2,8 +2,6 @@
 
 import math
 
-import pytest
-
 from repro.core import run_dhc1, run_trivial, run_upcast, upcast_sample_size
 from repro.core.dhc1 import default_sqrt_colors
 from repro.graphs import gnp_random_graph

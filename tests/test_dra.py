@@ -8,7 +8,7 @@ from repro.analysis.bounds import dra_step_budget
 from repro.core import run_dra
 from repro.core.rotation import FAIL_NO_EDGES, FAIL_TOO_SMALL
 import repro
-from repro.graphs import Graph, gnp_random_graph
+from repro.graphs import Graph
 from repro.verify import is_hamiltonian_cycle
 
 from tests.conftest import complete, dense_gnp, path_graph, ring

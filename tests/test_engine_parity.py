@@ -39,6 +39,11 @@ from repro.graphs import (
 SIZES = [16, 64, 256]
 MODELS = ["gnp", "gnm", "regular"]
 
+#: Engines that count as an algorithm's parity *reference*, in
+#: preference order: the message-level simulator where one exists,
+#: otherwise the scalar sequential implementation.
+REFERENCE_ENGINES = ("congest", "sequential")
+
 
 def sample(model: str, n: int, factor: float, seed: int):
     """One graph per (model, n) in the paper's density parameterisation."""
@@ -55,11 +60,11 @@ def sample(model: str, n: int, factor: float, seed: int):
     return random_regular_graph(n, degree, seed=seed)
 
 
-def assert_parity(kernel, oracle, context: str, *, detail_keys=()):
-    assert kernel.success == oracle.success, context
-    assert kernel.cycle == oracle.cycle, context
-    assert kernel.steps == oracle.steps, context
-    assert kernel.rounds == oracle.rounds, context
+def assert_parity(kernel, oracle, context: str, *, detail_keys=(),
+                  fields=("success", "cycle", "steps", "rounds")):
+    for field in fields:
+        assert getattr(kernel, field) == getattr(oracle, field), (
+            f"{context}: {field}")
     for key in detail_keys:
         assert kernel.detail.get(key) == oracle.detail.get(key), (
             f"{context}: detail[{key!r}]")
@@ -116,6 +121,119 @@ class TestDhc2Parity:
             oracle = _dhc2_fast_py(g, k=8, seed=seed)
             assert_parity(kernel, oracle, f"dhc2 sparse seed={seed}",
                           detail_keys=("fail",))
+
+
+class TestTurauParity:
+    """Turau path merging: the array replay vs the CONGEST protocol.
+
+    Covers the working (dense) regime and both failure modes — phase
+    budget exhaustion and a missing closure edge — since the parity
+    contract includes failure codes.
+    """
+
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("n", [16, 64, 128])
+    @pytest.mark.parametrize("factor", [2.0, 30.0])
+    def test_grid(self, model, n, factor):
+        for seed in (1, 7):
+            g = sample(model, n, factor, seed)
+            kernel = repro.run(g, "turau", engine="fast", seed=seed)
+            oracle = repro.run(g, "turau", engine="congest", seed=seed)
+            assert_parity(
+                kernel, oracle, f"turau {model} n={n} factor={factor} seed={seed}",
+                detail_keys=("fail", "phases", "initial_paths"),
+                fields=("success", "cycle", "steps"))
+
+    def test_tight_phase_budget_failure_matches(self):
+        g = sample("gnp", 64, 30.0, seed=2)
+        kernel = repro.run(g, "turau", engine="fast", seed=2, phase_budget=2)
+        oracle = repro.run(g, "turau", engine="congest", seed=2, phase_budget=2)
+        assert not kernel.success
+        assert_parity(kernel, oracle, "turau tight budget",
+                      detail_keys=("fail", "phases"),
+                      fields=("success", "cycle", "steps"))
+
+    def test_too_small_graph_matches(self):
+        g = repro.Graph(2, [(0, 1)])
+        kernel = repro.run(g, "turau", engine="fast", seed=1)
+        oracle = repro.run(g, "turau", engine="congest", seed=1)
+        assert not kernel.success and not oracle.success
+        assert kernel.detail["fail"] == oracle.detail["fail"] == "too-small"
+
+
+class TestCreParity:
+    """CRE: the CSR-array replay vs the scalar sequential reference."""
+
+    @pytest.mark.parametrize("model", MODELS)
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("factor", [1.0, 2.0, 8.0])
+    def test_grid(self, model, n, factor):
+        for seed in (1, 7):
+            g = sample(model, n, factor, seed)
+            kernel = repro.run(g, "cre", engine="fast", seed=seed)
+            oracle = repro.run(g, "cre", engine="sequential", seed=seed)
+            assert_parity(
+                kernel, oracle, f"cre {model} n={n} factor={factor} seed={seed}",
+                detail_keys=("fail", "extensions", "rotations",
+                             "cycle_extensions"),
+                fields=("success", "cycle", "steps"))
+
+    def test_step_budget_failure_matches(self):
+        g = sample("gnp", 64, 2.0, seed=3)
+        kernel = repro.run(g, "cre", engine="fast", seed=3, step_budget=10)
+        oracle = repro.run(g, "cre", engine="sequential", seed=3, step_budget=10)
+        assert not kernel.success
+        assert kernel.steps == oracle.steps == 10
+        assert kernel.detail["fail"] == oracle.detail["fail"] == "budget"
+
+
+def _reference_spec(algorithm):
+    engines = REGISTRY.engines_for(algorithm)
+    for name in REFERENCE_ENGINES:
+        if name in engines:
+            return engines[name]
+    return None
+
+
+@pytest.mark.parametrize(
+    "spec", [s for s in REGISTRY if s.parity],
+    ids=lambda s: f"{s.algorithm}/{s.engine}")
+class TestRegistryParityGate:
+    """Every registered parity declaration is enforceable and enforced.
+
+    Parametrised over the live registry: registering a new engine with
+    a ``parity`` declaration but no reference implementation — or one
+    whose declared fields diverge from its reference — fails the build
+    with no edits here.  (The CI cross-algorithm parity job runs this
+    module over every registered pair on the oldest and newest
+    supported Pythons.)
+    """
+
+    def test_reference_engine_registered(self, spec):
+        ref = _reference_spec(spec.algorithm)
+        assert ref is not None, (
+            f"{spec.algorithm}/{spec.engine} declares parity "
+            f"{sorted(spec.parity)} but registers no reference engine "
+            f"({' or '.join(REFERENCE_ENGINES)}) to hold it against")
+        assert ref.engine != spec.engine
+
+    def test_declared_fields_match_reference_seed_for_seed(self, spec):
+        # Complete graph: every algorithm's success path, where the
+        # parity contract is unconditional.  (n = 96 so each of DHC2's
+        # k = 4 colour classes is comfortably in its walk's regime.)
+        ref = _reference_spec(spec.algorithm)
+        g = gnp_random_graph(96, 1.0, seed=9)
+        shared = {"delta": 1.0, "k": 4}
+        for seed in (1, 5):
+            fast = spec.call(g, seed=seed, **spec.filter_kwargs(shared))
+            slow = ref.call(g, seed=seed, **ref.filter_kwargs(shared))
+            assert fast.success and slow.success, (
+                f"{spec.algorithm}: the parity gate needs a succeeding "
+                f"configuration; a complete graph should not fail")
+            for field in sorted(spec.parity):
+                assert getattr(fast, field) == getattr(slow, field), (
+                    f"{spec.algorithm}/{spec.engine}: declared parity "
+                    f"field {field!r} diverged from {ref.engine}")
 
 
 class TestFastPyRetirement:

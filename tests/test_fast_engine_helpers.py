@@ -1,7 +1,5 @@
 """Unit tests for the fast engine's tree/timing helpers."""
 
-import pytest
-
 from repro.engines.fast import SpanningTree, bfs_completion_round, build_min_id_bfs_tree
 from repro.graphs import Graph
 

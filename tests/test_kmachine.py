@@ -5,15 +5,12 @@ hand-checkable protocol, invariance of the converted protocol's output,
 and the Conversion-Theorem bound formula.
 """
 
-import math
-
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.congest.message import Message
-from repro.congest.network import Network
 from repro.congest.node import Context, Protocol
 from repro.core import run_dra
 from repro.graphs import gnp_random_graph, paper_probability

@@ -6,7 +6,6 @@ rotation, patch search — on hand-checkable inputs.
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines.levy import (
     _close_into_cycle,

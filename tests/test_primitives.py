@@ -1,8 +1,6 @@
 """Tests for the distributed primitives: flood-min, BFS tree, barrier."""
 
-import pytest
-
-from repro.congest import Message, Network, Protocol
+from repro.congest import Network, Protocol
 from repro.graphs import Graph, bfs_distances, gnp_random_graph
 from repro.primitives import BfsTree, FloodMin, SubMachineHost
 from repro.primitives.barrier import Barrier

@@ -33,7 +33,9 @@ class TestRegistryTable:
                 ("upcast", "congest"), ("trivial", "congest"),
                 ("levy", "fast"), ("local", "fast"),
                 ("posa", "sequential"),
-                ("angluin-valiant", "sequential")} <= keys
+                ("angluin-valiant", "sequential"),
+                ("turau", "congest"), ("turau", "fast"),
+                ("cre", "sequential"), ("cre", "fast")} <= keys
 
     def test_unknown_algorithm_message_lists_choices(self):
         with pytest.raises(ValueError, match="unknown algorithm"):
@@ -53,7 +55,8 @@ class TestRegistryTable:
         assert len(reg) == 1
 
     def test_convertible_algorithms_capability(self):
-        assert REGISTRY.convertible_algorithms() == ["dhc1", "dhc2", "dra"]
+        assert REGISTRY.convertible_algorithms() == [
+            "dhc1", "dhc2", "dra", "turau"]
 
     def test_registering_new_algorithm_is_one_call(self):
         """The extension point: a third-party algorithm plugs in."""
@@ -160,6 +163,38 @@ class TestCrossEngineParity:
                 assert getattr(slow, field) == getattr(fast, field), (
                     f"{algorithm}: '{field}' diverged between engines "
                     f"(declared parity {sorted(fast_spec.parity)})")
+
+
+class TestCapabilityErrorPaths:
+    """Registry misuse fails loudly with actionable messages."""
+
+    def test_unknown_algorithm_through_run(self):
+        g = dense_graph(8, seed=1)
+        with pytest.raises(ValueError, match="unknown algorithm 'dijkstra'"):
+            repro.run(g, "dijkstra")
+
+    def test_unknown_algorithm_lists_known_names(self):
+        with pytest.raises(ValueError, match="cre") as excinfo:
+            REGISTRY.get("nope", "fast")
+        assert "turau" in str(excinfo.value)
+
+    def test_congest_only_kwarg_on_sequential_spec(self):
+        # fault_plan is a congest capability; requesting it against an
+        # explicitly sequential spec fails at resolution time with the
+        # missing keyword named, not deep inside a runner.
+        with pytest.raises(ValueError, match="does not support: fault_plan"):
+            REGISTRY.resolve("cre", "sequential", require=["fault_plan"])
+
+    def test_congest_only_kwarg_unsatisfiable_on_auto(self):
+        # cre has no congest engine at all, so auto resolution reports
+        # every candidate's supported keywords.
+        with pytest.raises(ValueError, match="no engine for algorithm 'cre'"):
+            REGISTRY.resolve("cre", "auto", require=["fault_plan"])
+
+    def test_foreign_algorithm_kwarg_rejected_at_call(self):
+        g = dense_graph(8, seed=1)
+        with pytest.raises(TypeError, match="does not support: phase_budget"):
+            REGISTRY.get("dra", "fast").call(g, seed=1, phase_budget=3)
 
 
 class TestDeprecationShims:

@@ -4,8 +4,6 @@ These validate the pure renumbering mathematics that both engines rely
 on, independent of any network machinery.
 """
 
-import math
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -142,6 +142,15 @@ class TestMergeStores:
             return out
         assert lines(dest.path) == lines(serial_store.path)
 
+    def test_require_records_rejects_empty_merge(self, tmp_path):
+        dest = JsonlStore(tmp_path / "merged.jsonl")
+        with pytest.raises(ValueError, match="no trial records"):
+            merge_stores([MemoryStore()], dest, require_records=True)
+        assert not dest.path.exists()  # dest untouched on failure
+        # The default stays permissive for library callers that handle
+        # emptiness themselves.
+        assert merge_stores([MemoryStore()]) == []
+
     def test_duplicate_agreement_is_tolerated(self):
         stores, _ = self._filled()
         doubled = stores + [stores[0]]  # same shard merged twice
