@@ -1,0 +1,151 @@
+"""E17 — native k-machine engine vs the Conversion-Theorem simulator.
+
+The native ``engine="kmachine"`` exists to take the k-machine model
+past the sizes the converted path can simulate (the conversion drives
+the message-level CONGEST engine, paying per-message Python cost).
+This benchmark records:
+
+* **Shared sizes** — converted and native on the same graphs/seeds:
+  the cycles must be identical (the parity contract), the native
+  ``kmachine_rounds`` must track the converted oracle's, and the
+  native throughput must clear the >= 3x acceptance bar at the largest
+  shared size.
+* **Native-only sizes** — the regime the converted path cannot reach
+  (n = 1024+ is hours per trial for converted DRA): the Conversion
+  Theorem's ``~1/k`` shape must survive in the native accounting —
+  ``kmachine_rounds`` falls monotonically as machines are added while
+  the cycle stays byte-identical across k.
+
+Environment knobs (the CI perf-smoke step runs ``E17_SIZES=256``):
+
+* ``E17_SIZES`` — comma-separated native-only node counts (default
+  1024,4096);
+* ``E17_SHARED`` — the shared converted-vs-native size (default 96);
+* ``E17_OUT`` — also dump the run's payload to this path (smoke runs
+  included), for ``benchmarks/check_bench.py``'s advisory regression
+  comparison against the committed baseline.
+
+With ``E17_SIZES`` overridden (a smoke run), timing gates are skipped
+and ``BENCH_kmachine_native.json`` is *not* rewritten — shared-runner
+timings must not clobber the committed full-sweep trajectory.
+"""
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import repro
+from repro.graphs import gnp_random_graph
+from repro.kmachine import run_converted_hc
+
+from benchmarks.conftest import show
+
+FULL_SWEEP = "E17_SIZES" not in os.environ
+NATIVE_SIZES = [int(s) for s in
+                os.environ.get("E17_SIZES", "1024,4096").split(",")]
+SHARED_N = int(os.environ.get("E17_SHARED", "96"))
+KS = [2, 4, 8, 16]
+C = 8.0
+SEED = 3
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_kmachine_native.json"
+
+
+def _graph(n: int, seed: int = SEED):
+    return gnp_random_graph(n, min(1.0, C * math.log(n) / n), seed=seed)
+
+
+def _native(graph, k: int, seed: int = SEED):
+    return repro.run(graph, "dra", engine="kmachine", seed=seed, k_machines=k)
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - start
+
+
+def test_e17_kmachine_native(benchmark):
+    # -- shared sizes: parity + throughput vs the converted oracle -----------
+    graph = _graph(SHARED_N)
+    shared_rows = []
+    shared = {}
+    _native(_graph(64), 2)  # warm lazy imports outside the timed region
+    for k in KS[:3]:
+        native, t_native = _timed(_native, graph, k)
+        (converted, km), t_conv = _timed(
+            run_converted_hc, graph, algorithm="dra", k_machines=k, seed=SEED)
+        assert native.success and converted.success
+        assert native.cycle == converted.cycle, "native/converted cycle parity"
+        assert native.rounds == converted.rounds
+        ratio = t_conv / t_native
+        shared[str(k)] = {
+            "native_kmachine_rounds": native.detail["kmachine_rounds"],
+            "converted_kmachine_rounds": km.kmachine_rounds,
+            "native_trials_per_sec": round(1.0 / t_native, 3),
+            "converted_trials_per_sec": round(1.0 / t_conv, 3),
+            "native_speedup": round(ratio, 2),
+        }
+        shared_rows.append((k, native.detail["kmachine_rounds"],
+                            km.kmachine_rounds, round(ratio, 1)))
+    show(f"E17: native vs converted at shared n={SHARED_N}",
+         ["k", "native_rounds", "converted_rounds", "wall_speedup"],
+         shared_rows)
+
+    # -- native-only sizes: the ~1/k shape where conversion cannot go --------
+    native_series = {}
+    native_rows = []
+    for n in NATIVE_SIZES:
+        graph = _graph(n)
+        per_k = {}
+        cycles = set()
+        for k in KS:
+            result, elapsed = _timed(_native, graph, k)
+            assert result.success, f"native DRA failed at n={n}, k={k}"
+            cycles.add(tuple(result.cycle))
+            per_k[str(k)] = {
+                "kmachine_rounds": result.detail["kmachine_rounds"],
+                "congest_rounds": result.rounds,
+                "cross_words": result.detail["kmachine"]["cross_words"],
+                "trials_per_sec": round(1.0 / elapsed, 3),
+            }
+            native_rows.append(
+                (n, k, result.detail["kmachine_rounds"], result.rounds,
+                 round(1.0 / elapsed, 2)))
+        assert len(cycles) == 1, "the machine count must not perturb the walk"
+        rounds = [per_k[str(k)]["kmachine_rounds"] for k in KS]
+        assert rounds == sorted(rounds, reverse=True), (
+            f"~1/k scaling violated at n={n}: {rounds}")
+        native_series[str(n)] = per_k
+    show("E17: native-only regime (converted path cannot reach these sizes)",
+         ["n", "k", "kmachine_rounds", "congest_rounds", "trials/sec"],
+         native_rows)
+
+    payload = {
+        "experiment": "e17_kmachine_native",
+        "shared_n": SHARED_N,
+        "native_sizes": NATIVE_SIZES,
+        "ks": KS,
+        "c": C,
+        "seed": SEED,
+        "shared": shared,
+        "native": native_series,
+    }
+    if FULL_SWEEP:
+        largest = shared[str(KS[2])]
+        assert largest["native_speedup"] >= 3.0, (
+            f"native must be >= 3x converted at the largest shared size, "
+            f"got {largest['native_speedup']}x")
+        OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {OUT_PATH}")
+    else:
+        print(f"sizes overridden; skipped timing gates and kept {OUT_PATH}")
+    if os.environ.get("E17_OUT"):
+        Path(os.environ["E17_OUT"]).write_text(
+            json.dumps(payload, indent=2) + "\n")
+
+    benchmark.extra_info["shared"] = shared
+    benchmark.extra_info["native"] = native_series
+    benchmark.pedantic(_native, args=(_graph(min(NATIVE_SIZES + [256])), 4),
+                       rounds=1, iterations=1)

@@ -158,8 +158,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--k", type=int, default=None,
                        help="partition count override (DHC1/DHC2)")
     run_p.add_argument("--k-machines", type=int, default=None,
-                       help="also report k-machine conversion cost "
-                            "(fully-distributed algorithms only)")
+                       help="machine count: with --engine kmachine the "
+                            "native machine-level engine runs directly; "
+                            "otherwise the congest run is re-costed via "
+                            "the Conversion Theorem (fully-distributed "
+                            "algorithms only)")
+    run_p.add_argument("--link-words", type=int, default=None,
+                       help="k-machine per-link bandwidth W in words per "
+                            "round (native engine and conversion)")
     run_p.add_argument("--audit-memory", action="store_true",
                        help="record per-node peak state (fully-distributed check)")
     run_p.add_argument("--json", action="store_true",
@@ -174,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--sizes", default="64,128,256",
                          help="comma-separated node counts")
     sweep_p.add_argument("--trials", type=int, default=3)
+    sweep_p.add_argument("--k-machines", type=int, default=None,
+                         help="machine count for --engine kmachine sweeps")
+    sweep_p.add_argument("--link-words", type=int, default=None,
+                         help="per-link word budget for --engine kmachine "
+                              "sweeps")
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1 = serial; seeds and "
                               "records are identical either way)")
@@ -280,7 +291,19 @@ def _cmd_run(args) -> int:
         required["k"] = args.k
 
     kmachine_summary = None
-    if args.k_machines is not None:
+    if engine == "kmachine":
+        # Native machine-level execution: k-machine knobs are ordinary
+        # engine kwargs, validated like any other capability.
+        if args.k_machines is not None:
+            required["k_machines"] = args.k_machines
+        if args.link_words is not None:
+            required["link_words"] = args.link_words
+        spec = REGISTRY.resolve(algorithm, engine, require=required)
+        kwargs = dict(required)
+        kwargs.update(spec.filter_kwargs({"delta": args.delta}))
+        result = spec.call(graph, seed=args.seed + 1, **kwargs)
+        kmachine_summary = result.detail.get("kmachine")
+    elif args.k_machines is not None:
         from repro.kmachine import run_converted_hc
 
         congest_spec = REGISTRY.engines_for(algorithm).get("congest")
@@ -304,6 +327,8 @@ def _cmd_run(args) -> int:
         REGISTRY.resolve(algorithm, "congest", require=required)
         kwargs = dict(required)
         kwargs.update(congest_spec.filter_kwargs({"delta": args.delta}))
+        if args.link_words is not None:
+            kwargs["link_words"] = args.link_words
         result, km = run_converted_hc(
             graph, algorithm=algorithm, k_machines=args.k_machines,
             seed=args.seed + 1, **kwargs)
@@ -351,18 +376,21 @@ class _SweepTrial:
     """
 
     def __init__(self, algorithm: str, engine: str, delta: float, c: float,
-                 model: str):
+                 model: str, extra: dict | None = None):
         self.algorithm = algorithm
         self.engine = engine
         self.delta = delta
         self.c = c
         self.model = model
+        # Soft options (e.g. k_machines / link_words): filtered per
+        # spec, so a mixed-engine sweep never trips on them.
+        self.extra = dict(extra or {})
 
     def __call__(self, point: dict, seed: int):
         graph, _p = _sample_graph(
             self.model, point["n"], self.delta, self.c, seed)
         spec = REGISTRY.resolve(self.algorithm, self.engine)
-        kwargs = spec.filter_kwargs({"delta": self.delta})
+        kwargs = spec.filter_kwargs({"delta": self.delta, **self.extra})
         return spec.call(graph, seed=seed, **kwargs)
 
 
@@ -392,7 +420,11 @@ def _cmd_sweep(args) -> int:
               file=sys.stderr)
         return 2
 
-    trial_fn = _SweepTrial(algorithm, engine, args.delta, args.c, args.model)
+    extra = {key: value for key, value in
+             (("k_machines", args.k_machines), ("link_words", args.link_words))
+             if value is not None}
+    trial_fn = _SweepTrial(algorithm, engine, args.delta, args.c, args.model,
+                           extra)
     runner_cls = ParallelTrialRunner if args.jobs > 1 else TrialRunner
     runner_kwargs = {"master_seed": args.seed, "store": store, "shard": shard}
     if args.jobs > 1:

@@ -46,9 +46,11 @@ __all__ = ["Engine", "EngineSpec", "ENGINE_PRIORITY"]
 #: ``engine="auto"`` preference order (higher wins): the array-kernel
 #: step-level engine when it can honour the request, the message-level
 #: simulator when full CONGEST fidelity (or a capability only it has,
-#: e.g. ``audit_memory`` / ``fault_plan``) is needed, sequential
-#: solvers as a last resort.
-ENGINE_PRIORITY = {"fast": 30, "congest": 20, "sequential": 10}
+#: e.g. ``audit_memory`` / ``fault_plan``) is needed, the native
+#: k-machine simulator when the caller asks for machine-model
+#: accounting (``k_machines`` / ``link_words`` steer onto it), and
+#: sequential solvers as a last resort.
+ENGINE_PRIORITY = {"fast": 30, "congest": 20, "kmachine": 15, "sequential": 10}
 
 
 @runtime_checkable

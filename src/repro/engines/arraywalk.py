@@ -146,14 +146,20 @@ class ArrayTree:
         self._indices = indices
 
     def completion_round(self, start_round: int) -> int:
-        """Round at which the distributed BFS root sends commit.
+        """Round at which the distributed BFS root sends commit."""
+        return int(self.completion_times(start_round)[self.root])
+
+    def completion_times(self, start_round: int) -> np.ndarray:
+        """Per-member round at which the done-report leaves each node.
 
         The same recursion as
         :func:`repro.engines.fast.bfs_completion_round` — ``done(v) =
         max(join(v) + 1, peer responses, children done + 1)`` —
         evaluated level by level from the deepest up, with the peer
         response term computed as one masked scatter-max over the
-        member edges.
+        member edges.  The full vector (meaningful at member indices)
+        is what the native k-machine engine's traffic model needs; the
+        root's entry is the commit round the fast engines use.
         """
         members, depth, parent = self.members, self.depth, self.parent
         n = len(self._indptr) - 1
@@ -178,7 +184,7 @@ class ArrayTree:
                 np.maximum(start_round + d + 1, resp[level]), kid[level])
             if d > 0:
                 np.maximum.at(kid, parent[level], done[level] + 1)
-        return int(done[self.root])
+        return done
 
     def eccentricity(self, v: int) -> int:
         """Largest tree distance from ``v`` (cost of a flood it starts)."""
@@ -275,12 +281,12 @@ class ArrayWalk:
     __slots__ = ("size", "rngs", "initial_head", "step_budget", "tree_depth",
                  "round", "latency", "success", "fail_code", "steps",
                  "rotations", "extensions", "retries", "end_round",
-                 "flood_initiator", "_indptr", "_indices", "_twins",
+                 "flood_initiator", "trace", "_indptr", "_indices", "_twins",
                  "_alive", "_path", "_pos", "_plen")
 
     def __init__(self, *, indptr, indices, twins, alive, rngs, size,
                  initial_head, step_budget, tree_depth, start_round,
-                 latency=1):
+                 latency=1, trace=None):
         self.size = size
         self.rngs = rngs
         self.initial_head = initial_head
@@ -297,6 +303,11 @@ class ArrayWalk:
         self.retries = 0  # unported walks never retry; kept for RunResult parity
         self.end_round = start_round
         self.flood_initiator = initial_head
+        #: Optional per-step endpoint log: ``(head, target)`` appended
+        #: for every progress message the walk sends, in step order.
+        #: The native k-machine engine feeds this to its link ledger;
+        #: ``None`` (the default) keeps the hot loop branch-only.
+        self.trace = trace
 
         self._indptr = indptr
         self._indices = indices
@@ -328,6 +339,7 @@ class ArrayWalk:
         ramp = np.arange(self.size, dtype=np.int64)
         size, budget = self.size, self.step_budget
         rotation_cost = 2 * self.tree_depth * self.latency + 3
+        trace = self.trace
 
         head = self.initial_head
         path[0] = head
@@ -350,6 +362,8 @@ class ArrayWalk:
             alive[slot] = False
             alive[twins[slot]] = False
             self.steps = step
+            if trace is not None:
+                trace.append((head, target))
 
             tpos = int(pos[target])
             if tpos < 0:

@@ -185,8 +185,14 @@ def _dhc2_fast_py(
 
 
 def _phase2(graph: Graph, cycles: dict[int, list[int]], colors: int,
-            phase1_end: int, steps: int, engine: str) -> RunResult:
-    """Phase 2: deterministic merges (identical for both Phase-1 paths)."""
+            phase1_end: int, steps: int, engine: str,
+            observer=None) -> RunResult:
+    """Phase 2: deterministic merges (identical for both Phase-1 paths).
+
+    ``observer(a_cycle, b_cycle, merged)``, if given, sees every
+    successful pair merge in execution order without perturbing it —
+    the native k-machine engine charges bridge-scan traffic there.
+    """
     n = graph.n
     rounds = phase1_end
     levels = merge_levels(colors)
@@ -209,6 +215,8 @@ def _phase2(graph: Graph, cycles: dict[int, list[int]], colors: int,
             merged = _merge_pair_vec(graph, a_members, b_members, keys)
             if merged is None:
                 return _fail(n, colors, rounds, "no-bridge", engine)
+            if observer is not None:
+                observer(a_members, b_members, merged)
             next_cycles[new_color] = merged
             rounds += _level_cost(len(merged))
         cycles = next_cycles

@@ -104,9 +104,19 @@ def _turau_fast(
     *,
     seed: int = 0,
     phase_budget: int | None = None,
+    trace: dict | None = None,
 ) -> RunResult:
-    """Turau path merging replayed on arrays; see module docstring."""
+    """Turau path merging replayed on arrays; see module docstring.
+
+    ``trace``, if given, is filled with the replay's communication
+    schedule — the proposal endpoints, each phase's request/grant
+    pairs, and the closure flood source — without perturbing any
+    decision.  The native k-machine engine uses it to bin the
+    protocol's traffic onto machine links.
+    """
     n = graph.n
+    if trace is not None:
+        trace.update(proposals=None, phases=[], flood_source=-1)
     if n < 3:
         return RunResult("turau", False, None, 0, engine="fast",
                          detail={"fail": FAIL_TOO_SMALL, "phases": 0,
@@ -141,6 +151,9 @@ def _turau_fast(
     for v, w in zip(winners[first], targets[first]):
         links.commit(int(v), int(w))
         steps += 1
+    if trace is not None:
+        trace["proposals"] = (proposers, propose[proposers])
+        trace["accepts"] = (targets[first], winners[first])
 
     deg0 = links.degrees()
     initial_paths = int((deg0 == 0).sum()) + int((deg0 == 1).sum()) // 2
@@ -171,6 +184,8 @@ def _turau_fast(
                 fail = FAIL_NO_CLOSURE_EDGE
             closure_at = starts[ell - 1]
             flood_source = f if fail is None else e
+            if trace is not None:
+                trace["flood_source"] = flood_source
             break
         # Role designation per path end, driven by the phase index and
         # the path id's bits (see :func:`repro.core.turau.role_bit`).
@@ -205,6 +220,16 @@ def _turau_fast(
         for b, a in sorted(accepted.items()):
             links.commit(a, b)
             steps += 1
+        if trace is not None:
+            trace["phases"].append({
+                "participants": int(participants.size),
+                "window": int(window),
+                "announcers": np.array(sorted(passive), dtype=np.int64),
+                "requests": np.array(sorted(choice.items()),
+                                     dtype=np.int64).reshape(-1, 2),
+                "grants": np.array(sorted(accepted.items()),
+                                   dtype=np.int64).reshape(-1, 2),
+            })
 
     # -- result assembly ----------------------------------------------------------
     ok = fail is None

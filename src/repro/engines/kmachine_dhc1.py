@@ -1,0 +1,346 @@
+"""DHC1 (Algorithm 2) under native k-machine execution.
+
+DHC1 never had a step-level replay: its hypernode phase lives on a
+relayed virtual fabric whose timing is event-driven.  The native
+k-machine engine supplies the first one.  Decisions replay exactly —
+the same per-node RNG streams in the same order as
+:class:`repro.core.dhc1.Dhc1Protocol`:
+
+1. **Phase 1** — colour draw + per-class rotation walks on the
+   colour-filtered CSR, identical to the DHC2 fast engine's Phase 1
+   (the CONGEST protocols share :class:`PartitionedPhase1Protocol`,
+   and the preceding global election/BFS consume no randomness, so the
+   streams line up even though DHC1 runs them first in wall-clock).
+2. **Hypernode selection** (Algorithm 2 l.13-15) — each class's
+   ``cycindex == 1`` node (the class root: the initial head is never
+   renumbered) draws ``r``; ``u = path[r-1]`` holds the hypernode,
+   ``v`` is its cycle predecessor.
+3. **Virtual-edge assembly** — port announcements become, per holder,
+   the sorted realization list ``(peer class, my role, peer role,
+   far endpoint)``; duplicates per key are kept as distinct
+   :class:`VirtualEdge` realizations and the far map keeps the last
+   (largest ``phys``) entry, exactly as ``Dhc1Protocol`` builds
+   ``_vedges`` / ``_far``.
+4. **Ported virtual walk** — :class:`repro.engines.fast._FastWalk` in
+   the ported mode it was built for, with per-hypernode streams taken
+   from the holders' generators; the min-id virtual BFS tree supplies
+   root/size, and the winning closure edge is captured for stitching.
+5. **Stitching** (Fig. 1) — each class's entry/exit ports and the
+   ``_far`` lookup reproduce every node's ``global_succ``, flattened
+   from node 0 like the CONGEST engine.
+
+Rounds are a structural machine-level estimate (the fabric's relay
+pacing is event-driven), accounted phase by phase on the
+:class:`~repro.kmachine.ledger.LinkLedger`; the parity contract for
+DHC1 is therefore ``success``/``cycle``/``steps``, with round conformance
+covered by the Conversion-Theorem bound like every k-machine entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bounds import diameter_budget, dra_step_budget
+from repro.engines.fast import _FastWalk, build_min_id_bfs_tree
+from repro.engines.kmachine_engine import (
+    DEFAULT_LINK_WORDS,
+    _setup,
+    _finish,
+    _walk_traffic,
+)
+from repro.engines.results import RunResult
+from repro.graphs.adjacency import Graph, csr_sources
+from repro.kmachine.ledger import (
+    LinkLedger,
+    TreeFloodProfile,
+    bfs_messages,
+    floodmin_traffic,
+)
+from repro.verify.hamiltonicity import (
+    CycleViolation,
+    cycle_from_successors,
+    verify_cycle,
+)
+
+__all__ = ["_dhc1_kmachine"]
+
+_ROLE_U = 0
+_ROLE_V = 1
+
+
+class _PortedWalk(_FastWalk):
+    """The ported walker, additionally remembering the closure edge.
+
+    ``RotationWalk`` binds the winning head's successor ports
+    optimistically before the win flood; the centralized walker never
+    needed them, but DHC1's stitching does.
+    """
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.win_edge: tuple[int, int, int, int] | None = None
+
+    def _hit(self, head, target, my_port, their_port):
+        outcome = super()._hit(head, target, my_port, their_port)
+        if outcome[0] == "win":
+            self.win_edge = (head, target, my_port, their_port)
+        return outcome
+
+
+def _dhc1_fail(n: int, colors: int, reason: str) -> RunResult:
+    return RunResult("dhc1", False, None, 0, engine="kmachine",
+                     detail={"k": colors, "fail": reason})
+
+
+def _dhc1_kmachine(
+    graph: Graph,
+    *,
+    k: int | None = None,
+    seed: int = 0,
+    k_machines: int | None = None,
+    link_words: int = DEFAULT_LINK_WORDS,
+    partition_seed: int | None = None,
+) -> RunResult:
+    """Algorithm 2 under native k-machine execution (see module docs).
+
+    ``k`` keeps its DHC1 meaning — the colour count, defaulting to
+    ``sqrt(n)`` — and ``k_machines`` selects the machine count.
+    """
+    from repro.core.dhc1 import default_sqrt_colors
+    from repro.engines.arraywalk import (
+        ArrayWalk,
+        build_array_tree,
+        edge_twins,
+        filtered_csr,
+    )
+
+    n = graph.n
+    partition, ledger = _setup(graph, seed, k_machines, link_words,
+                               partition_seed)
+    colors = k if k is not None else default_sqrt_colors(n)
+    seeds = np.random.SeedSequence(seed).spawn(n) if n else []
+    rngs = [np.random.default_rng(s) for s in seeds]
+    indptr, indices = graph.indptr, graph.indices
+    members_all = np.arange(n, dtype=np.int64)
+
+    if n == 0 or graph.m == 0 or int(graph.degrees().min()) == 0:
+        # An isolated node admits no Hamiltonian cycle; the protocol
+        # aborts in its first round.
+        result = _dhc1_fail(n, colors, "isolated-node")
+        return _finish(result, ledger)
+
+    # -- global election + BFS (consume rounds, not randomness) ----------------
+    global_elect = diameter_budget(n)
+    floodmin_traffic(ledger, indptr, indices, members_all, global_elect)
+    gtree = build_array_tree(indptr, indices, members_all, root=0)
+    if gtree is None:
+        return _finish(_dhc1_fail(n, colors, "global-bfs-unreachable"), ledger)
+    gdone = gtree.completion_times(global_elect)
+    gticks, gsrc, gdst, gwords = bfs_messages(gtree, indptr, indices,
+                                              global_elect, gdone)
+    gspan = int(gdone[gtree.root]) - global_elect + 1
+    ledger.series(np.minimum(gticks, gspan - 1), gsrc, gdst, gwords,
+                  span=gspan)
+    gprofile = TreeFloodProfile(ledger, gtree.parent, gtree.depth, members_all)
+    ledger.quiet(max(1, gtree.tree_depth))  # synchronized announce wait
+
+    # -- Phase 1: colours + per-class walks (same replay as DHC2) --------------
+    color_of = np.array([1 + int(rngs[v].integers(colors)) for v in range(n)],
+                        dtype=np.int64)
+    src_all = csr_sources(indptr)
+    ledger.burst(src_all, indices, 2)  # colour announcement round
+    sub_indptr, sub_indices = filtered_csr(
+        indptr, indices, color_of[src_all] == color_of[indices])
+    twins = edge_twins(sub_indptr, sub_indices)
+    alive = np.ones(sub_indices.size, dtype=bool)
+    elect_budget = diameter_budget(max(3, (2 * n) // max(1, colors)))
+    floodmin_traffic(ledger, sub_indptr, sub_indices, members_all,
+                     elect_budget)
+
+    paths: dict[int, list[int]] = {}
+    class_trees: dict[int, object] = {}
+    bfs_parts: list[tuple] = []
+    bfs_span = 1
+    walk_forks: list[LinkLedger] = []
+    p1_start = 0  # relative clock: class BFS begins after the election
+
+    def flush_phase1():
+        # Jointly-binned class BFS ticks + wall-clock-max walk forks;
+        # charged on failure paths too (the traffic demonstrably ran).
+        if bfs_parts:
+            ticks = np.concatenate([p[0] for p in bfs_parts])
+            ledger.series(np.minimum(ticks, bfs_span - 1),
+                          np.concatenate([p[1] for p in bfs_parts]),
+                          np.concatenate([p[2] for p in bfs_parts]),
+                          np.concatenate([p[3] for p in bfs_parts]),
+                          span=bfs_span)
+        ledger.absorb_concurrent(walk_forks)
+
+    for c in range(1, colors + 1):
+        members = np.flatnonzero(color_of == c)
+        if members.size == 0:
+            return _finish(_dhc1_fail(n, colors, "empty-partition"), ledger)
+        tree = build_array_tree(sub_indptr, sub_indices, members,
+                                root=int(members[0]))
+        if tree is None:
+            return _finish(_dhc1_fail(n, colors, "partition-disconnected"),
+                           ledger)
+        done = tree.completion_times(p1_start)
+        bfs_parts.append(bfs_messages(tree, sub_indptr, sub_indices,
+                                      p1_start, done))
+        bfs_span = max(bfs_span, int(done[tree.root]) - p1_start + 1)
+        trace: list[tuple[int, int]] = []
+        walk = ArrayWalk(
+            indptr=sub_indptr,
+            indices=sub_indices,
+            twins=twins,
+            alive=alive,
+            rngs=rngs,
+            size=members.size,
+            initial_head=tree.root,
+            step_budget=dra_step_budget(members.size),
+            tree_depth=max(1, tree.tree_depth),
+            start_round=int(done[tree.root]) + 1,
+            trace=trace,
+        )
+        walk.run()
+        fork = ledger.fork()
+        _walk_traffic(fork, walk, trace,
+                      TreeFloodProfile(fork, tree.parent, tree.depth, members),
+                      tree.eccentricity(walk.flood_initiator))
+        walk_forks.append(fork)
+        if not walk.success:
+            flush_phase1()
+            return _finish(
+                _dhc1_fail(n, colors, f"walk-{walk.fail_code}"), ledger)
+        paths[c] = walk.cycle()
+        class_trees[c] = tree
+    flush_phase1()
+
+    # -- hypernode selection (l.13-15) + port announcement ----------------------
+    holder = np.full(colors + 1, -1, dtype=np.int64)   # u_i per class
+    partner = np.full(colors + 1, -1, dtype=np.int64)  # v_i per class
+    port_class = np.zeros(n, dtype=np.int64)
+    port_role = np.zeros(n, dtype=np.int64)
+    max_class_depth = 0
+    for c in range(1, colors + 1):
+        path = paths[c]
+        size = len(path)
+        root = path[0]  # cycindex 1: the initial head, never renumbered
+        r = 1 + int(rngs[root].integers(size))
+        u = path[r - 1]
+        v = path[r - 2] if r > 1 else path[size - 1]
+        holder[c], partner[c] = u, v
+        port_class[u], port_role[u] = c, _ROLE_U
+        port_class[v], port_role[v] = c, _ROLE_V
+        max_class_depth = max(max_class_depth, class_trees[c].tree_depth)
+    # Selection floods over the class trees, then the "hp" broadcast.
+    ledger.uniform_burst(2 * (n - colors), 2, ticks=max(1, 2 * max_class_depth))
+    ports = np.flatnonzero(port_class > 0)
+    counts = indptr[ports + 1] - indptr[ports]
+    ledger.burst(np.repeat(ports, counts),
+                 _gather(indptr, indices, ports), 3)
+
+    # -- barrier 1, adjacency assembly, barrier 2 -------------------------------
+    ledger.flood(gprofile, 1, times=2)  # barrier 1: ready up, go down
+    entries_max = 0
+    realizations: dict[int, list[tuple[int, int, int, int]]] = {}
+    for c in range(1, colors + 1):
+        entries: list[tuple[int, int, int, int]] = []
+        for endpoint, my_role in ((holder[c], _ROLE_U), (partner[c], _ROLE_V)):
+            for w in graph.neighbors(int(endpoint)):
+                w = int(w)
+                pc = int(port_class[w])
+                if pc and pc != c:
+                    entries.append((pc, my_role, int(port_role[w]), w))
+        entries.sort()
+        realizations[c] = entries
+        entries_max = max(
+            entries_max, sum(1 for e in entries if e[1] == _ROLE_V) + 1)
+    ledger.burst(partner[1:], holder[1:], 4)  # first v -> u relay tick
+    ledger.quiet(entries_max)                 # rest of the paced queue
+    ledger.flood(gprofile, 1, times=2)        # barrier 2
+
+    # -- virtual BFS + ported walk over G' --------------------------------------
+    vpeers = {c: sorted({e[0] for e in realizations[c]})
+              for c in range(1, colors + 1)}
+    vtree = build_min_id_bfs_tree(list(range(1, colors + 1)),
+                                  lambda c: vpeers[c], root=1)
+    if vtree is None:
+        return _finish(_dhc1_fail(n, colors, "virtual-bfs-unreachable"),
+                       ledger)
+    latency = 3  # a virtual hop is at most 3 physical hops
+    vdepth = max(1, vtree.tree_depth)
+    ledger.uniform_burst(4 * colors, 3,
+                         ticks=latency * (2 * vtree.tree_depth + 4))
+    vwalk = _PortedWalk(
+        size=colors,
+        edges_of=lambda c: [(h, mp, tp) for h, mp, tp, _f in realizations[c]],
+        rngs={c: rngs[int(holder[c])] for c in range(1, colors + 1)},
+        initial_head=1,
+        step_budget=dra_step_budget(colors),
+        tree_depth=vdepth,
+        start_round=0,
+        ported=True,
+        latency=latency,
+    )
+    vwalk.run()
+    ledger.uniform_burst(3 * max(1, vwalk.steps), 6,
+                         ticks=latency * max(1, vwalk.steps))
+    ledger.quiet(vwalk.rotations * (2 * vdepth * latency + 2))
+    if not vwalk.success:
+        result = _dhc1_fail(n, colors, f"virtual-walk-{vwalk.fail_code}")
+        result.steps = vwalk.steps
+        return _finish(result, ledger)
+
+    # -- stitching (Fig. 1) ------------------------------------------------------
+    vorder = vwalk.cycle()  # hypernode colours in virtual-cycle order
+    vhead = vorder[-1]
+    far = {c: {(h, mp, tp): f for h, mp, tp, f in realizations[c]}
+           for c in range(1, colors + 1)}
+    succ_global: dict[int, int] = {}
+    for i, c in enumerate(vorder):
+        vsucc = vorder[(i + 1) % colors]
+        pred_port, succ_port = vwalk._bound[c]
+        if c == vhead:
+            _head, _target, succ_port, succ_peer_port = vwalk.win_edge
+        else:
+            succ_peer_port = vwalk._bound[vsucc][0]
+        exit_phys = int(holder[c] if succ_port == _ROLE_U else partner[c])
+        next_entry = far[c][(vsucc, succ_port, succ_peer_port)]
+        entry_is_u = pred_port == _ROLE_U
+        path = paths[c]
+        size = len(path)
+        for j, w in enumerate(path):
+            if w == exit_phys:
+                succ_global[w] = next_entry
+            elif entry_is_u:
+                succ_global[w] = path[(j + 1) % size]
+            else:
+                succ_global[w] = path[(j - 1) % size]
+    ok = True
+    cycle = None
+    try:
+        cycle = cycle_from_successors(succ_global)
+        verify_cycle(graph, cycle)
+    except CycleViolation:
+        ok, cycle = False, None
+    ledger.flood(gprofile, 3)  # the final stitching flood
+    ledger.quiet(max(0, 2 * gtree.tree_depth - gprofile.tree_depth))
+    result = RunResult(
+        algorithm="dhc1",
+        success=ok,
+        cycle=cycle,
+        rounds=ledger.metrics.congest_rounds,
+        steps=vwalk.steps,
+        engine="kmachine",
+        detail={"k": colors} if ok else {"k": colors, "fail": "bad-stitch"},
+    )
+    return _finish(result, ledger)
+
+
+def _gather(indptr: np.ndarray, indices: np.ndarray,
+            nodes: np.ndarray) -> np.ndarray:
+    from repro.engines.arraywalk import gather_neighbors
+
+    return gather_neighbors(indptr, indices, nodes)

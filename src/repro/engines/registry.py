@@ -36,6 +36,12 @@ __all__ = ["EngineRegistry", "REGISTRY", "run"]
 #: inject).
 _CONGEST_COMMON = ("max_rounds", "audit_memory", "network_hook", "fault_plan")
 
+#: Keywords shared by the native k-machine engine entries: machine
+#: count, per-link word budget (the model's ``W``), and an RVP stream
+#: override (defaults to the run seed — the converted path's
+#: convention, so both engines draw the identical partition).
+_KMACHINE_COMMON = ("k_machines", "link_words", "partition_seed")
+
 
 def _builtin_specs() -> list[EngineSpec]:
     """The library's shipped algorithms, referenced lazily by path."""
@@ -49,10 +55,20 @@ def _builtin_specs() -> list[EngineSpec]:
                    supported_kwargs=("step_budget",),
                    parity=("cycle", "steps", "rounds"),
                    summary="Algorithm 1, step-level replay on the array kernel"),
+        EngineSpec("dra", "kmachine", "repro.engines.kmachine_engine:_dra_kmachine",
+                   supported_kwargs=("step_budget", "k", *_KMACHINE_COMMON),
+                   parity=("cycle", "steps", "rounds"),
+                   summary="Algorithm 1 on the native k-machine engine "
+                           "(k is an alias for k_machines here)"),
         EngineSpec("dhc1", "congest", "repro.core:run_dhc1",
                    supported_kwargs=("k", *_CONGEST_COMMON),
                    kmachine_convertible=True, audits_memory=True,
                    summary="Algorithm 2 in the message-level simulator"),
+        EngineSpec("dhc1", "kmachine", "repro.engines.kmachine_dhc1:_dhc1_kmachine",
+                   supported_kwargs=("k", *_KMACHINE_COMMON),
+                   parity=("cycle", "steps"),
+                   summary="Algorithm 2 on the native k-machine engine "
+                           "(first step-level DHC1 replay)"),
         EngineSpec("dhc2", "congest", "repro.core:run_dhc2",
                    supported_kwargs=("delta", "k", *_CONGEST_COMMON),
                    kmachine_convertible=True, audits_memory=True,
@@ -61,6 +77,10 @@ def _builtin_specs() -> list[EngineSpec]:
                    supported_kwargs=("delta", "k"),
                    parity=("cycle", "steps"),
                    summary="Algorithm 3, step-level replay on the array kernel"),
+        EngineSpec("dhc2", "kmachine", "repro.engines.kmachine_engine:_dhc2_kmachine",
+                   supported_kwargs=("delta", "k", *_KMACHINE_COMMON),
+                   parity=("cycle", "steps"),
+                   summary="Algorithm 3 on the native k-machine engine"),
         # The pure-Python walkers that preceded the array kernel served
         # one release as registered "fast-py" engines; they remain
         # importable (repro.engines.fast:_dra_fast_py,
@@ -76,6 +96,10 @@ def _builtin_specs() -> list[EngineSpec]:
                    supported_kwargs=("phase_budget",),
                    parity=("cycle", "steps"),
                    summary="Turau path merging replayed on link arrays"),
+        EngineSpec("turau", "kmachine", "repro.engines.kmachine_engine:_turau_kmachine",
+                   supported_kwargs=("phase_budget", *_KMACHINE_COMMON),
+                   parity=("cycle", "steps"),
+                   summary="Turau path merging on the native k-machine engine"),
         EngineSpec("cre", "sequential", "repro.core.cre:run_cre",
                    supported_kwargs=("step_budget",),
                    summary="Alon-Krivelevich CRE solver (arXiv:1903.03007), "

@@ -26,6 +26,12 @@ them, and the price of a round is the congestion it puts on the
 machine-to-machine links.
 """
 
+from repro.kmachine.ledger import (
+    LinkLedger,
+    TreeFloodProfile,
+    bfs_messages,
+    floodmin_traffic,
+)
 from repro.kmachine.metrics import KMachineMetrics
 from repro.kmachine.partition import VertexPartition
 from repro.kmachine.simulation import (
@@ -39,6 +45,10 @@ __all__ = [
     "VertexPartition",
     "KMachineMetrics",
     "KMachineResult",
+    "LinkLedger",
+    "TreeFloodProfile",
+    "bfs_messages",
+    "floodmin_traffic",
     "run_converted",
     "run_converted_hc",
     "conversion_round_bound",

@@ -23,6 +23,15 @@ can depend on messages of round ``r``, so rounds cannot overlap without
 a pipelining argument.  The measured `kmachine_rounds` is therefore an
 honest upper bound achievable by the plain simulation, and the E13
 benchmark checks it still exhibits the theorem's ``~1/k`` scaling.
+
+This conversion pays full per-node CONGEST simulation cost, which
+confines it to toy sizes; the *native* machine-level engine
+(:mod:`repro.engines.kmachine_engine`, ``engine="kmachine"``) runs the
+same algorithms as batched array steps under the identical charging
+rule and reaches the large-``n`` regime.  The converted simulator here
+stays registered as that engine's parity **oracle** (see
+``tests/test_engine_parity.py::TestKmachineOracleGate``), exactly as
+the reference walkers gate the fast engines.
 """
 
 from __future__ import annotations

@@ -1,0 +1,72 @@
+"""Unit tests for the advisory bench-regression comparator."""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+from check_bench import compare, main, numeric_leaves  # noqa: E402
+
+
+BASE = {
+    "experiment": "x",
+    "sizes": [1024, 4096],
+    "shared": {"4": {"native_trials_per_sec": 100.0,
+                     "native_kmachine_rounds": 5000}},
+}
+
+
+class TestCompare:
+    def test_in_band_run_is_clean(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["shared"]["4"]["native_trials_per_sec"] = 80.0  # noisy but fine
+        problems, compared, _skipped = compare(fresh, BASE, 0.5, 0.25)
+        assert problems == []
+        assert compared == 2
+
+    def test_rate_regression_detected(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["shared"]["4"]["native_trials_per_sec"] = 10.0
+        problems, _, _ = compare(fresh, BASE, 0.5, 0.25)
+        assert len(problems) == 1 and "rate regression" in problems[0]
+
+    def test_count_drift_detected_but_rates_may_improve(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["shared"]["4"]["native_trials_per_sec"] = 900.0  # faster: fine
+        fresh["shared"]["4"]["native_kmachine_rounds"] = 9000  # drift: not
+        problems, _, _ = compare(fresh, BASE, 0.5, 0.25)
+        assert len(problems) == 1 and "count drift" in problems[0]
+
+    def test_config_keys_ignored(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["sizes"] = [256]  # a smoke run's reduced grid
+        problems, _, _ = compare(fresh, BASE, 0.5, 0.25)
+        assert problems == []
+
+    def test_unmatched_paths_skipped(self):
+        fresh = {"shared": {"4": {"native_trials_per_sec": 100.0}}}
+        problems, compared, skipped = compare(fresh, BASE, 0.5, 0.25)
+        assert problems == [] and compared == 1 and skipped == 1
+
+    def test_numeric_leaves_flattening(self):
+        leaves = numeric_leaves({"a": {"b": [1, {"c": 2.5}]}, "ok": True})
+        assert leaves == {"a.b.0": 1.0, "a.b.1.c": 2.5}  # bools excluded
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path):
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(BASE))
+        fresh = json.loads(json.dumps(BASE))
+        fresh_path = tmp_path / "fresh.json"
+        fresh_path.write_text(json.dumps(fresh))
+        assert main([str(fresh_path), str(base_path)]) == 0
+        fresh["shared"]["4"]["native_trials_per_sec"] = 1.0
+        fresh_path.write_text(json.dumps(fresh))
+        assert main([str(fresh_path), str(base_path)]) == 2
+        assert main([str(tmp_path / "missing.json"), str(base_path)]) == 1
+        empty = tmp_path / "empty.json"
+        empty.write_text("{}")
+        assert main([str(empty), str(base_path)]) == 1

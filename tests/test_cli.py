@@ -74,6 +74,61 @@ class TestRunCommand:
         assert code == 2
         assert "fully-distributed" in err
 
+    def test_native_kmachine_engine_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra", "--nodes", "64",
+            "--delta", "1.0", "--c", "8", "--seed", "2",
+            "--engine", "kmachine", "--k-machines", "4", "--json")
+        payload = json.loads(out)
+        assert payload["engine"] == "kmachine"
+        assert payload["detail"]["k_machines"] == 4
+        assert payload["detail"]["kmachine_rounds"] >= payload["rounds"] > 0
+        assert payload["kmachine"]["k"] == 4.0
+
+    def test_native_kmachine_defaults_and_link_words(self, capsys):
+        base = ("run", "--algorithm", "dra", "--nodes", "64",
+                "--delta", "1.0", "--c", "8", "--seed", "2",
+                "--engine", "kmachine", "--json")
+        _, out_default, _ = run_cli(capsys, *base)
+        _, out_narrow, _ = run_cli(capsys, *base, "--link-words", "1")
+        default = json.loads(out_default)
+        narrow = json.loads(out_narrow)
+        assert default["detail"]["k_machines"] == 8  # DEFAULT_K_MACHINES
+        assert narrow["detail"]["link_words"] == 1
+        assert (narrow["detail"]["kmachine_rounds"]
+                > default["detail"]["kmachine_rounds"])
+        # The cost model never perturbs the protocol.
+        assert narrow["rounds"] == default["rounds"]
+
+    def test_native_kmachine_dhc2_keeps_color_k(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dhc2", "--nodes", "96",
+            "--delta", "0.5", "--c", "6", "--seed", "2",
+            "--engine", "kmachine", "--k", "4", "--k-machines", "2",
+            "--json")
+        payload = json.loads(out)
+        assert payload["detail"]["k"] == 4            # colour count
+        assert payload["detail"]["k_machines"] == 2   # machine count
+
+    def test_native_kmachine_sweep(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "--algorithm", "dra", "--engine", "kmachine",
+            "--sizes", "48,64", "--trials", "2", "--c", "8",
+            "--delta", "1.0", "--seed", "5", "--k-machines", "4", "--json")
+        payload = json.loads(out)
+        assert code == 0
+        assert payload["engine"] == "kmachine"
+        assert all(row[2] >= 0 for row in payload["rows"])
+
+    def test_converted_report_honours_link_words(self, capsys):
+        base = ("run", "--algorithm", "dra", "--nodes", "48", "--seed", "2",
+                "--k-machines", "4", "--json")
+        _, out_wide, _ = run_cli(capsys, *base)
+        _, out_narrow, _ = run_cli(capsys, *base, "--link-words", "1")
+        wide = json.loads(out_wide)["kmachine"]
+        narrow = json.loads(out_narrow)["kmachine"]
+        assert narrow["kmachine_rounds"] > wide["kmachine_rounds"]
+
     def test_gnm_model(self, capsys):
         code, out, _ = run_cli(
             capsys, "run", "--algorithm", "dra-fast", "--nodes", "64",

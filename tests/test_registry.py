@@ -37,6 +37,18 @@ class TestRegistryTable:
                 ("turau", "congest"), ("turau", "fast"),
                 ("cre", "sequential"), ("cre", "fast")} <= keys
 
+    def test_every_convertible_spec_has_a_native_kmachine_entry(self):
+        # The native engine mirrors the Conversion Theorem's reach: one
+        # kmachine entry per kmachine_convertible congest spec, each
+        # threading the machine-model knobs.
+        keys = {s.key for s in REGISTRY}
+        for algorithm in REGISTRY.convertible_algorithms():
+            assert (algorithm, "kmachine") in keys
+            spec = REGISTRY.get(algorithm, "kmachine")
+            assert {"k_machines", "link_words",
+                    "partition_seed"} <= spec.supported_kwargs
+            assert "cycle" in spec.parity
+
     def test_unknown_algorithm_message_lists_choices(self):
         with pytest.raises(ValueError, match="unknown algorithm"):
             REGISTRY.get("nope", "fast")
