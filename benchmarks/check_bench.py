@@ -39,7 +39,7 @@ RATE_MARKERS = ("per_sec", "speedup")
 #: overrides these, so they carry no regression signal.
 CONFIG_KEYS = frozenset({
     "sizes", "native_sizes", "ks", "seed", "c", "delta", "trials",
-    "shared_n", "congest_max", "dhc2_max",
+    "shared_n", "congest_max", "dhc2_max", "batch_sizes",
 })
 
 

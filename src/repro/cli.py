@@ -188,6 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1 = serial; seeds and "
                               "records are identical either way)")
+    sweep_p.add_argument("--batch-size", type=int, default=1,
+                         help="trials per engine pass for batched engines "
+                              "(e.g. --engine fast-batch); 1 = per-trial "
+                              "calls; engines without batch support warn "
+                              "and fall back (records are identical for "
+                              "any value)")
     sweep_p.add_argument("--chunksize", type=int, default=None,
                          help="trials per worker IPC message (with --jobs; "
                               "default auto-sizes from the sweep, 1 = "
@@ -394,6 +400,31 @@ class _SweepTrial:
         return spec.call(graph, seed=seed, **kwargs)
 
 
+class _SweepTrialBatch:
+    """A batch of sweep trials as one picklable engine pass.
+
+    Mirrors :class:`_SweepTrial`, but samples one graph per seed and
+    hands the whole group to ``spec.call_batch`` — one kernel pass over
+    the group, with per-seed results identical to per-trial calls.
+    """
+
+    def __init__(self, algorithm: str, engine: str, delta: float, c: float,
+                 model: str, extra: dict | None = None):
+        self.algorithm = algorithm
+        self.engine = engine
+        self.delta = delta
+        self.c = c
+        self.model = model
+        self.extra = dict(extra or {})
+
+    def __call__(self, point: dict, seeds: list[int]):
+        graphs = [_sample_graph(self.model, point["n"], self.delta, self.c,
+                                seed)[0] for seed in seeds]
+        spec = REGISTRY.resolve(self.algorithm, self.engine)
+        kwargs = spec.filter_kwargs({"delta": self.delta, **self.extra})
+        return spec.call_batch(graphs, seeds=list(seeds), **kwargs)
+
+
 def _cmd_sweep(args) -> int:
     algorithm, engine = _resolve_algorithm(args.algorithm, args.engine)
     sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
@@ -403,7 +434,18 @@ def _cmd_sweep(args) -> int:
     # Fail an invalid (algorithm, engine) pair here, before any graph
     # is sampled or worker pool spawned; trials re-resolve per call
     # (deterministically — same algorithm, engine, and empty require).
-    resolved_engine = REGISTRY.resolve(algorithm, engine).engine
+    spec = REGISTRY.resolve(algorithm, engine)
+    resolved_engine = spec.engine
+
+    if args.batch_size < 1:
+        print("--batch-size must be >= 1", file=sys.stderr)
+        return 2
+    batch_size = args.batch_size
+    if batch_size > 1 and not spec.batched:
+        print(f"engine {resolved_engine!r} has no batch runner; "
+              f"ignoring --batch-size {batch_size} (try --engine "
+              f"fast-batch)", file=sys.stderr)
+        batch_size = 1
 
     shard = ShardSpec.parse(args.shard) if args.shard else None
 
@@ -427,6 +469,10 @@ def _cmd_sweep(args) -> int:
                            extra)
     runner_cls = ParallelTrialRunner if args.jobs > 1 else TrialRunner
     runner_kwargs = {"master_seed": args.seed, "store": store, "shard": shard}
+    if batch_size > 1:
+        runner_kwargs["batch_fn"] = _SweepTrialBatch(
+            algorithm, engine, args.delta, args.c, args.model, extra)
+        runner_kwargs["batch_size"] = batch_size
     if args.jobs > 1:
         runner_kwargs["jobs"] = args.jobs
         runner_kwargs["chunksize"] = args.chunksize

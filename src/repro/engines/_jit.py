@@ -1,0 +1,62 @@
+"""Optional numba acceleration for the batch kernel (``REPRO_JIT``).
+
+The batched walk (:mod:`repro.engines.batchwalk`) has two inner
+pieces with natural scalar formulations — ranking the drawn edge out
+of the head row's live-bit words and the blockwise path reversals of
+the eager-position (CRE) rotation — that the pure-numpy path handles
+with a popcount/bit-halving select and a gather/scatter respectively.
+When ``REPRO_JIT=1`` *and* numba is importable, those pieces compile
+to tight per-lane loops instead; otherwise the numpy fallback runs.
+numba is never a hard dependency: it ships as the ``jit`` optional
+extra (``pip install repro-hc[jit]``), and requesting JIT without it
+installed degrades to the fallback with a one-time warning.
+
+The compiled and fallback paths are decision-identical by
+construction (no RNG consumption happens inside either — draws stay
+in the batch's :class:`~repro.engines.batchwalk.DrawPool` streams,
+which is what preserves the seed-for-seed parity contract).  CI gates
+both: the regular matrix jobs run with numba absent, and a dedicated
+variant installs the extra and re-runs the suite — batch parity
+included — under ``REPRO_JIT=1``.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+__all__ = ["HAVE_NUMBA", "REQUESTED", "ENABLED", "compile_kernel"]
+
+
+def _truthy(value: str) -> bool:
+    return value.strip().lower() in {"1", "true", "yes", "on"}
+
+
+#: Whether the environment asked for the compiled backend.
+REQUESTED = _truthy(os.environ.get("REPRO_JIT", ""))
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:
+    numba = None
+    HAVE_NUMBA = False
+
+#: Compiled kernels are used only when requested *and* available.
+ENABLED = REQUESTED and HAVE_NUMBA
+
+if REQUESTED and not HAVE_NUMBA:
+    warnings.warn(
+        "REPRO_JIT requested but numba is not installed; falling back to "
+        "the pure-numpy batch kernel (install the 'jit' extra to compile)",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+
+
+def compile_kernel(fn):
+    """``numba.njit(cache=True)`` when enabled; the function unchanged otherwise."""
+    if ENABLED:  # pragma: no cover - exercised only in the CI jit variant
+        return numba.njit(cache=True)(fn)
+    return fn

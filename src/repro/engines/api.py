@@ -44,13 +44,17 @@ from repro.engines.results import RunResult
 __all__ = ["Engine", "EngineSpec", "ENGINE_PRIORITY"]
 
 #: ``engine="auto"`` preference order (higher wins): the array-kernel
-#: step-level engine when it can honour the request, the message-level
-#: simulator when full CONGEST fidelity (or a capability only it has,
-#: e.g. ``audit_memory`` / ``fault_plan``) is needed, the native
-#: k-machine simulator when the caller asks for machine-model
-#: accounting (``k_machines`` / ``link_words`` steer onto it), and
-#: sequential solvers as a last resort.
-ENGINE_PRIORITY = {"fast": 30, "congest": 20, "kmachine": 15, "sequential": 10}
+#: step-level engine when it can honour the request, the batch-major
+#: kernel just below it (a single-trial ``repro.run`` call gains
+#: nothing from batching, so ``auto`` prefers plain ``fast``; the
+#: harness opts into ``fast-batch`` explicitly via ``batch_size``),
+#: the message-level simulator when full CONGEST fidelity (or a
+#: capability only it has, e.g. ``audit_memory`` / ``fault_plan``) is
+#: needed, the native k-machine simulator when the caller asks for
+#: machine-model accounting (``k_machines`` / ``link_words`` steer
+#: onto it), and sequential solvers as a last resort.
+ENGINE_PRIORITY = {"fast": 30, "fast-batch": 25, "congest": 20,
+                   "kmachine": 15, "sequential": 10}
 
 
 @runtime_checkable
@@ -72,6 +76,13 @@ class EngineSpec:
     runner:
         The :class:`Engine` callable, or a lazy ``"module:attribute"``
         dotted path resolved on first use.
+    batch_runner:
+        Optional batched entry point ``run_batch(graphs, *, seeds,
+        **kwargs) -> list[RunResult]`` (callable or dotted path)
+        executing many independent same-n trials in shared kernel
+        passes.  Declaring one is the ``batched`` capability the
+        harness dispatches on; results must be seed-for-seed identical
+        to calling ``runner`` once per ``(graph, seed)`` pair.
     supported_kwargs:
         Keyword arguments (beyond ``graph`` and ``seed``) the runner
         accepts; anything else raises at dispatch time.
@@ -101,6 +112,7 @@ class EngineSpec:
     algorithm: str
     engine: str
     runner: Callable[..., RunResult] | str
+    batch_runner: Callable[..., list[RunResult]] | str | None = None
     supported_kwargs: frozenset[str] = frozenset()
     kmachine_convertible: bool = False
     audits_memory: bool = False
@@ -122,16 +134,37 @@ class EngineSpec:
     def key(self) -> tuple[str, str]:
         return (self.algorithm, self.engine)
 
+    @property
+    def batched(self) -> bool:
+        """Whether this engine can execute many trials per kernel pass."""
+        return self.batch_runner is not None
+
+    @staticmethod
+    def _import(path: str) -> Callable:
+        module_name, _, attr = path.partition(":")
+        if not attr:
+            raise ValueError(
+                f"runner path {path!r} must look like 'module:attribute'")
+        return getattr(importlib.import_module(module_name), attr)
+
     def load(self) -> Callable[..., RunResult]:
         """The runner callable, importing it if registered by path."""
         if callable(self.runner):
             return self.runner
-        module_name, _, attr = self.runner.partition(":")
-        if not attr:
-            raise ValueError(
-                f"runner path {self.runner!r} must look like 'module:attribute'")
-        runner = getattr(importlib.import_module(module_name), attr)
+        runner = self._import(self.runner)
         object.__setattr__(self, "runner", runner)  # cache the import
+        return runner
+
+    def load_batch(self) -> Callable[..., list[RunResult]]:
+        """The batch runner callable, importing it if registered by path."""
+        if self.batch_runner is None:
+            raise ValueError(
+                f"engine {self.engine!r} for algorithm {self.algorithm!r} "
+                f"has no batch runner (spec.batched is False)")
+        if callable(self.batch_runner):
+            return self.batch_runner
+        runner = self._import(self.batch_runner)
+        object.__setattr__(self, "batch_runner", runner)
         return runner
 
     def supports(self, names) -> bool:
@@ -151,3 +184,13 @@ class EngineSpec:
                 f"does not support: {', '.join(unsupported)} "
                 f"(supported: {', '.join(sorted(self.supported_kwargs)) or 'none'})")
         return self.load()(graph, seed=seed, **kwargs)
+
+    def call_batch(self, graphs, *, seeds, **kwargs: Any) -> list[RunResult]:
+        """Execute a batch of trials, validating keywords like :meth:`call`."""
+        unsupported = sorted(set(kwargs) - self.supported_kwargs)
+        if unsupported:
+            raise TypeError(
+                f"engine {self.engine!r} for algorithm {self.algorithm!r} "
+                f"does not support: {', '.join(unsupported)} "
+                f"(supported: {', '.join(sorted(self.supported_kwargs)) or 'none'})")
+        return self.load_batch()(graphs, seeds=seeds, **kwargs)

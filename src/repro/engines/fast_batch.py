@@ -1,0 +1,373 @@
+"""The ``fast-batch`` engine: hundreds of trials per kernel pass.
+
+Batched counterparts of :func:`repro.engines.fast._dra_fast` and
+:func:`repro.engines.fast_cre._cre_fast` built on the batch-major
+kernel (:mod:`repro.engines.batchwalk`).  A ``run_batch(graphs,
+seeds=...)`` call executes B independent same-n trials — each with
+its own sampled graph and its own seed — through shared whole-array
+passes, returning one :class:`~repro.engines.results.RunResult` per
+trial that is seed-for-seed identical to what ``engine="fast"`` would
+have produced for that (graph, seed) pair.  The single-graph wrappers
+(``*_one``) make the same code reachable through the ordinary
+:func:`repro.run` path, which is what the registry parity gate
+exercises.
+
+Batches are transparently split into memory-bounded chunks (the
+stacked CSR, dead-edge bitmask, and draw buffers scale with the
+batch's total directed edge count), so callers may hand over
+arbitrarily large batches; ``REPRO_BATCH_EDGE_BUDGET`` tunes the
+per-chunk cap.  Chunking never changes results — trials are
+independent.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.analysis.bounds import diameter_budget, dra_step_budget
+from repro.core.cre import (
+    CRE_FAIL_BUDGET,
+    CRE_FAIL_CUT_OFF,
+    CRE_FAIL_STRANDED,
+    CRE_FAIL_TOO_SMALL,
+    cre_step_budget,
+)
+from repro.engines.batchwalk import (
+    BatchWalk,
+    DrawPool,
+    build_batch_tree,
+    reverse_path_blocks,
+    stack_graph_csrs,
+)
+from repro.engines.results import RunResult
+from repro.verify.hamiltonicity import CycleViolation, verify_cycle
+
+__all__ = ["_dra_fast_batch", "_cre_fast_batch",
+           "_dra_fast_batch_one", "_cre_fast_batch_one"]
+
+#: Per-chunk cap on the stacked CSR's directed entry count (int32
+#: indices, twin table, and padded copy put the default around 1 GB
+#: of per-chunk state); env-tunable for small-memory hosts.  Must
+#: stay below 2**31 — the stacked ids and edge offsets are int32.
+_EDGE_BUDGET = int(os.environ.get("REPRO_BATCH_EDGE_BUDGET", 80_000_000))
+
+
+def _chunk_spans(graphs) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` spans whose stacked CSRs stay in budget."""
+    spans = []
+    lo = 0
+    edges = 0
+    for i, g in enumerate(graphs):
+        count = int(g.indices.size)
+        if i > lo and edges + count > _EDGE_BUDGET:
+            spans.append((lo, i))
+            lo, edges = i, 0
+        edges += count
+    spans.append((lo, len(graphs)))
+    return spans
+
+
+def _check_batch(graphs, seeds) -> int:
+    if len(seeds) != len(graphs):
+        raise ValueError(
+            f"run_batch needs one seed per graph: {len(graphs)} graphs, "
+            f"{len(seeds)} seeds")
+    n = graphs[0].n
+    for i, g in enumerate(graphs):
+        if g.n != n:
+            raise ValueError(
+                f"fast-batch requires same-n graphs; graph 0 has n={n} "
+                f"but graph {i} has n={g.n}")
+    return n
+
+
+# -- DRA -------------------------------------------------------------------
+
+
+def _dra_fast_batch(graphs, *, seeds, step_budget: int | None = None,
+                    ) -> list[RunResult]:
+    """Algorithm 1 over a batch of trials; one RunResult per (graph, seed)."""
+    graphs = list(graphs)
+    seeds = list(seeds)
+    if not graphs:
+        return []
+    n = _check_batch(graphs, seeds)
+    if n == 0:
+        deadline = diameter_budget(0) + 3 * diameter_budget(0) + 8
+        return [RunResult("dra", False, None, deadline, engine="fast-batch",
+                          detail={"fail_codes": ["bfs-unreachable"]})
+                for _ in graphs]
+    results: list[RunResult | None] = [None] * len(graphs)
+    for lo, hi in _chunk_spans(graphs):
+        _dra_chunk(graphs[lo:hi], seeds[lo:hi], results, lo, step_budget)
+    return results  # type: ignore[return-value]  # every slot filled
+
+
+def _dra_chunk(graphs, seeds, results, offset, step_budget) -> None:
+    n = graphs[0].n
+    batch = len(graphs)
+    budget = step_budget if step_budget is not None else dra_step_budget(n)
+    election_rounds = diameter_budget(n)
+
+    # Trial b's node v owns the same stream as in a serial run:
+    # SeedSequence(seed_b).spawn(n)[v], flat-indexed by global id.
+    pool = DrawPool(seeds, n)
+
+    indptr, indices = stack_graph_csrs(graphs)
+    roots = np.arange(batch, dtype=np.int64) * n
+    tree = build_batch_tree(indptr, indices, batch, n, roots)
+    deadline = election_rounds + 3 * diameter_budget(n) + 8
+    for b in np.flatnonzero(~tree.ok).tolist():
+        results[offset + b] = RunResult(
+            "dra", False, None, deadline, engine="fast-batch",
+            detail={"fail_codes": ["bfs-unreachable"]})
+    connected = np.flatnonzero(tree.ok)
+    if connected.size == 0:
+        return
+
+    done = tree.completion_times(election_rounds)
+    walk = BatchWalk(
+        indptr=indptr,
+        indices=indices,
+        draws=pool,
+        batch=batch,
+        size=n,
+        initial_heads=roots,
+        step_budget=budget,
+        tree_depths=np.maximum(1, tree.tree_depth),
+        start_rounds=done[roots] + 1,
+        live=tree.ok,
+    )
+    walk.run()
+    ecc = tree.eccentricities(walk.flood_initiator[connected])
+    # Bulk verification: same accept/reject as per-trial verify_cycle,
+    # done in whole-array checks instead of a Python loop per edge.
+    winners = connected[walk.success[connected]]
+    cycles: dict[int, list[int] | None] = {}
+    if winners.size:
+        rows, okv = walk.verified_cycles(winners)
+        for i, b in enumerate(winners.tolist()):
+            cycles[b] = (rows[i] - b * n).tolist() if okv[i] else None
+    for slot, b in enumerate(connected.tolist()):
+        end_round = int(walk.end_round[b]) + int(ecc[slot])
+        ok = bool(walk.success[b])
+        cycle = cycles.get(b) if ok else None
+        if ok and cycle is None:
+            ok = False
+        fail_code = int(walk.fail_code[b])
+        results[offset + b] = RunResult(
+            algorithm="dra",
+            success=ok,
+            cycle=cycle,
+            rounds=end_round,
+            steps=int(walk.steps[b]),
+            engine="fast-batch",
+            detail={"fail_codes": [fail_code] if fail_code else [],
+                    "rotations": int(walk.rotations[b]),
+                    "extensions": int(walk.extensions[b]),
+                    "retries": 0},
+        )
+
+
+def _dra_fast_batch_one(graph, *, seed: int = 0,
+                        step_budget: int | None = None) -> RunResult:
+    """Registry runner: a batch of one (``repro.run(..., engine="fast-batch")``)."""
+    return _dra_fast_batch([graph], seeds=[seed], step_budget=step_budget)[0]
+
+
+# -- CRE -------------------------------------------------------------------
+
+
+def _cre_fast_batch(graphs, *, seeds, step_budget: int | None = None,
+                    ) -> list[RunResult]:
+    """The CRE solver over a batch of trials (decision contract of
+    :mod:`repro.core.cre`, one RNG stream per trial)."""
+    graphs = list(graphs)
+    seeds = list(seeds)
+    if not graphs:
+        return []
+    n = _check_batch(graphs, seeds)
+    if n < 3:
+        return [RunResult("cre", False, None, 0, engine="fast-batch",
+                          detail={"fail": CRE_FAIL_TOO_SMALL, "extensions": 0,
+                                  "rotations": 0, "cycle_extensions": 0})
+                for _ in graphs]
+    results: list[RunResult | None] = [None] * len(graphs)
+    for lo, hi in _chunk_spans(graphs):
+        _cre_chunk(graphs[lo:hi], seeds[lo:hi], results, lo, step_budget)
+    return results  # type: ignore[return-value]  # every slot filled
+
+
+def _cre_chunk(graphs, seeds, results, offset, step_budget) -> None:
+    from repro.engines.batchwalk import _padded_rows
+
+    n = graphs[0].n
+    batch = len(graphs)
+    budget = step_budget if step_budget is not None else cre_step_budget(n)
+    rngs = [np.random.default_rng(seed) for seed in seeds]
+    indptr, indices = stack_graph_csrs(graphs)
+    base = np.arange(batch, dtype=np.int64) * n
+
+    path = np.zeros((batch, n), dtype=np.int64)       # global ids
+    path_flat = path.reshape(-1)
+    pos = np.full(batch * n, -1, dtype=np.int64)      # global id -> local pos
+    unvisited = np.diff(indptr).astype(np.int64)
+    plen = np.ones(batch, dtype=np.int64)
+    live = np.ones(batch, dtype=bool)
+    success = np.zeros(batch, dtype=bool)
+    steps = np.zeros(batch, dtype=np.int64)
+    fail = [None] * batch
+    extensions = np.zeros(batch, dtype=np.int64)
+    rotations = np.zeros(batch, dtype=np.int64)
+    cycle_extensions = np.zeros(batch, dtype=np.int64)
+    ramp = np.arange(n, dtype=np.int64)
+
+    # Same first draw as serial: the start node, uniform over n.
+    starts0 = base + np.fromiter((rng.integers(n) for rng in rngs),
+                                 dtype=np.int64, count=batch)
+    path[:, 0] = starts0
+    pos[starts0] = 0
+    from repro.graphs.adjacency import csr_gather
+    unvisited[csr_gather(indptr, indices, starts0)] -= 1
+
+    def visit(trials: np.ndarray, targets: np.ndarray) -> None:
+        """Append each target to its trial's path (the shared tail of
+        every extension flavour)."""
+        lengths = plen[trials]
+        pos[targets] = lengths
+        path_flat[trials * n + lengths] = targets
+        plen[trials] += 1
+        unvisited[csr_gather(indptr, indices, targets)] -= 1
+
+    def stop(trials: np.ndarray, code: str) -> None:
+        for b in trials.tolist():
+            fail[b] = code
+        steps[trials] = moves
+        live[trials] = False
+
+    moves = 0
+    while True:
+        act = np.flatnonzero(live)
+        if act.size == 0:
+            break
+        heads = path_flat[act * n + plen[act] - 1]
+        tails = path_flat[act * n]
+        row_vals, valid = _padded_rows(indices, indptr[heads],
+                                       indptr[heads + 1])
+        closes = ((row_vals == tails[:, None]) & valid).any(axis=1)
+        fresh = valid & (pos[row_vals] < 0)
+        fresh_counts = fresh.sum(axis=1)
+
+        # Closure precedes the budget gate (reference decision contract).
+        won = closes & (plen[act] == n)
+        if won.any():
+            winners = act[won]
+            success[winners] = True
+            steps[winners] = moves
+            live[winners] = False
+        going = np.flatnonzero(~won)
+        if going.size == 0:
+            continue
+        if moves >= budget:
+            stop(act[going], CRE_FAIL_BUDGET)
+            continue
+        moves += 1
+
+        ext = fresh_counts[going] > 0
+        if ext.any():
+            rows = going[ext]
+            draws = np.fromiter(
+                (rngs[b].integers(c) for b, c in
+                 zip(act[rows].tolist(), fresh_counts[rows].tolist())),
+                dtype=np.int64, count=rows.size)
+            picked = fresh[rows]
+            chosen = picked & (np.cumsum(picked, axis=1)
+                               == (draws + 1)[:, None])
+            targets = row_vals[rows, chosen.argmax(axis=1)]
+            visit(act[rows], targets)
+            extensions[act[rows]] += 1
+
+        cyc = ~ext & closes[going]
+        if cyc.any():
+            # Cycle extension: rare enough that the two dependent draws
+            # (pivot in path order, then target) stay per-trial.
+            for b in act[going[cyc]].tolist():
+                rng = rngs[b]
+                on_path = path[b, :plen[b]]
+                pivots = on_path[unvisited[on_path] > 0]
+                if pivots.size == 0:
+                    fail[b] = CRE_FAIL_CUT_OFF
+                    steps[b] = moves
+                    live[b] = False
+                    continue
+                pivot = int(pivots[rng.integers(pivots.size)])
+                pivot_row = indices[indptr[pivot]:indptr[pivot + 1]]
+                targets = pivot_row[pos[pivot_row] < 0]
+                target = int(targets[rng.integers(targets.size)])
+                i = int(pos[pivot]) + 1
+                length = int(plen[b])
+                path[b, :length] = np.concatenate(
+                    (path[b, i:length], path[b, :i]))
+                pos[path[b, :length]] = ramp[:length]
+                one = np.array([b], dtype=np.int64)
+                visit(one, np.array([target], dtype=np.int64))
+                cycle_extensions[b] += 1
+
+        rot = ~ext & ~closes[going]
+        if rot.any():
+            rows = going[rot]
+            trials = act[rows]
+            preds = np.where(plen[trials] >= 2,
+                             path_flat[trials * n + plen[trials] - 2], -1)
+            options = (valid[rows] & (pos[row_vals[rows]] >= 0)
+                       & (row_vals[rows] != preds[:, None]))
+            counts = options.sum(axis=1)
+            cornered = counts == 0
+            if cornered.any():
+                stop(trials[cornered], CRE_FAIL_STRANDED)
+                rows = rows[~cornered]
+                trials = trials[~cornered]
+                options = options[~cornered]
+                counts = counts[~cornered]
+            if rows.size:
+                draws = np.fromiter(
+                    (rngs[b].integers(c) for b, c in
+                     zip(trials.tolist(), counts.tolist())),
+                    dtype=np.int64, count=rows.size)
+                chosen = options & (np.cumsum(options, axis=1)
+                                    == (draws + 1)[:, None])
+                pivots = row_vals[rows, chosen.argmax(axis=1)]
+                los = pos[pivots] + 1
+                reverse_path_blocks(path_flat, pos, trials, los,
+                                    plen[trials], n)
+                rotations[trials] += 1
+
+    for b, graph in enumerate(graphs):
+        ok = bool(success[b])
+        cycle = None
+        if ok:
+            cycle = (path[b, :plen[b]] - b * n).tolist()
+            try:
+                verify_cycle(graph, cycle)
+            except CycleViolation:
+                ok, cycle = False, None
+                fail[b] = CRE_FAIL_STRANDED
+        results[offset + b] = RunResult(
+            algorithm="cre",
+            success=ok,
+            cycle=cycle,
+            rounds=0,
+            steps=int(steps[b]),
+            engine="fast-batch",
+            detail={"fail": fail[b], "extensions": int(extensions[b]),
+                    "rotations": int(rotations[b]),
+                    "cycle_extensions": int(cycle_extensions[b])},
+        )
+
+
+def _cre_fast_batch_one(graph, *, seed: int = 0,
+                        step_budget: int | None = None) -> RunResult:
+    """Registry runner: a batch of one (``repro.run(..., engine="fast-batch")``)."""
+    return _cre_fast_batch([graph], seeds=[seed], step_budget=step_budget)[0]

@@ -14,7 +14,9 @@ event-driven CONGEST implementation's exact timing depends on queue
 pacing.  Cross-engine tests bound the ratio; scaling *shape* (the
 ``n**delta`` exponent of Theorem 10) is unaffected.
 
-``engine="fast"`` replays Phase 1 on the array kernel
+``engine="fast"`` replays Phase 1 through the shared replay core
+(:mod:`repro.engines.phase1_replay` — also what the native k-machine
+DHC1/DHC2 engines consume) on the array kernel
 (:mod:`repro.engines.arraywalk`) over a colour-filtered CSR built in
 one vectorised pass; ``_dhc2_fast_py`` keeps the pure-Python walker
 as a test-only parity oracle (formerly registered as
@@ -32,6 +34,7 @@ from repro.analysis.bounds import diameter_budget, dra_step_budget
 from repro.core.dhc2 import default_color_count
 from repro.core.phase1 import colors_at_level, merge_levels
 from repro.engines.fast import _FastWalk, bfs_completion_round, build_min_id_bfs_tree
+from repro.engines.phase1_replay import color_partition, replay_partition_walks
 from repro.engines.results import RunResult
 from repro.graphs.adjacency import Graph, csr_sources
 from repro.verify.hamiltonicity import CycleViolation, verify_cycle
@@ -67,66 +70,25 @@ def _dhc2_fast(
     seed: int = 0,
 ) -> RunResult:
     """Algorithm 3 with Phase 1 on the array kernel."""
-    from repro.engines.arraywalk import (
-        ArrayWalk,
-        build_array_tree,
-        edge_twins,
-        filtered_csr,
-    )
-
     n = graph.n
     colors = k if k is not None else default_color_count(n, delta)
     seeds = np.random.SeedSequence(seed).spawn(n) if n else []
     rngs = [np.random.default_rng(s) for s in seeds]
 
-    color_of = np.array([1 + int(rngs[v].integers(colors)) for v in range(n)], dtype=np.int64)
-
-    # Same-colour CSR in one vectorised pass: colour classes partition
-    # the nodes, so the filtered CSR is member-closed per class and one
-    # shared dead-edge mask serves every partition walk.
-    indptr, indices = graph.indptr, graph.indices
-    src = csr_sources(indptr)
-    sub_indptr, sub_indices = filtered_csr(
-        indptr, indices, color_of[src] == color_of[indices])
-    twins = edge_twins(sub_indptr, sub_indices)
-    alive = np.ones(sub_indices.size, dtype=bool)
+    color_of, sub_indptr, sub_indices, twins, alive = color_partition(
+        graph, rngs, colors)
 
     # -- Phase 1: replay every partition walk ------------------------------------
     elect_budget = diameter_budget(max(3, (2 * n) // max(1, colors)))
     phase1_start = 1 + elect_budget  # colour round + election deadline
-    cycles: dict[int, list[int]] = {}
-    steps = 0
-    phase1_end = phase1_start
-    for c in range(1, colors + 1):
-        members = np.flatnonzero(color_of == c)
-        if members.size == 0:
-            return _fail(n, colors, phase1_start, "empty-partition", "fast")
-        tree = build_array_tree(sub_indptr, sub_indices, members,
-                                root=int(members[0]))
-        if tree is None:
-            return _fail(n, colors, phase1_start, "partition-disconnected",
-                         "fast")
-        walk = ArrayWalk(
-            indptr=sub_indptr,
-            indices=sub_indices,
-            twins=twins,
-            alive=alive,
-            rngs=rngs,
-            size=members.size,
-            initial_head=tree.root,
-            step_budget=dra_step_budget(members.size),
-            tree_depth=max(1, tree.tree_depth),
-            start_round=tree.completion_round(phase1_start) + 1,
-        )
-        walk.run()
-        steps = max(steps, walk.steps)
-        if not walk.success:
-            return _fail(n, colors, walk.end_round, f"walk-{walk.fail_code}",
-                         "fast")
-        cycles[c] = walk.cycle()
-        phase1_end = max(phase1_end, walk.end_round + tree.eccentricity(walk.flood_initiator))
+    p1 = replay_partition_walks(
+        indptr=sub_indptr, indices=sub_indices, twins=twins, alive=alive,
+        rngs=rngs, color_of=color_of, colors=colors,
+        start_round=phase1_start)
+    if not p1.ok:
+        return _fail(n, colors, p1.fail_round, p1.fail_reason, "fast")
 
-    return _phase2(graph, cycles, colors, phase1_end, steps, "fast")
+    return _phase2(graph, p1.cycles, colors, p1.phase1_end, p1.steps, "fast")
 
 
 def _dhc2_fast_py(

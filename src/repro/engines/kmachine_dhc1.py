@@ -107,11 +107,10 @@ def _dhc1_kmachine(
     ``sqrt(n)`` — and ``k_machines`` selects the machine count.
     """
     from repro.core.dhc1 import default_sqrt_colors
-    from repro.engines.arraywalk import (
-        ArrayWalk,
-        build_array_tree,
-        edge_twins,
-        filtered_csr,
+    from repro.engines.arraywalk import build_array_tree
+    from repro.engines.phase1_replay import (
+        color_partition,
+        replay_partition_walks,
     )
 
     n = graph.n
@@ -145,20 +144,13 @@ def _dhc1_kmachine(
     ledger.quiet(max(1, gtree.tree_depth))  # synchronized announce wait
 
     # -- Phase 1: colours + per-class walks (same replay as DHC2) --------------
-    color_of = np.array([1 + int(rngs[v].integers(colors)) for v in range(n)],
-                        dtype=np.int64)
-    src_all = csr_sources(indptr)
-    ledger.burst(src_all, indices, 2)  # colour announcement round
-    sub_indptr, sub_indices = filtered_csr(
-        indptr, indices, color_of[src_all] == color_of[indices])
-    twins = edge_twins(sub_indptr, sub_indices)
-    alive = np.ones(sub_indices.size, dtype=bool)
+    color_of, sub_indptr, sub_indices, twins, alive = color_partition(
+        graph, rngs, colors)
+    ledger.burst(csr_sources(indptr), indices, 2)  # colour announcement
     elect_budget = diameter_budget(max(3, (2 * n) // max(1, colors)))
     floodmin_traffic(ledger, sub_indptr, sub_indices, members_all,
                      elect_budget)
 
-    paths: dict[int, list[int]] = {}
-    class_trees: dict[int, object] = {}
     bfs_parts: list[tuple] = []
     bfs_span = 1
     walk_forks: list[LinkLedger] = []
@@ -166,7 +158,8 @@ def _dhc1_kmachine(
 
     def flush_phase1():
         # Jointly-binned class BFS ticks + wall-clock-max walk forks;
-        # charged on failure paths too (the traffic demonstrably ran).
+        # charged on walk-failure paths too (the traffic demonstrably
+        # ran).
         if bfs_parts:
             ticks = np.concatenate([p[0] for p in bfs_parts])
             ledger.series(np.minimum(ticks, bfs_span - 1),
@@ -176,45 +169,26 @@ def _dhc1_kmachine(
                           span=bfs_span)
         ledger.absorb_concurrent(walk_forks)
 
-    for c in range(1, colors + 1):
-        members = np.flatnonzero(color_of == c)
-        if members.size == 0:
-            return _finish(_dhc1_fail(n, colors, "empty-partition"), ledger)
-        tree = build_array_tree(sub_indptr, sub_indices, members,
-                                root=int(members[0]))
-        if tree is None:
-            return _finish(_dhc1_fail(n, colors, "partition-disconnected"),
-                           ledger)
-        done = tree.completion_times(p1_start)
+    def charge_class(c, members, tree, done, walk, trace, flood_ecc):
+        nonlocal bfs_span
         bfs_parts.append(bfs_messages(tree, sub_indptr, sub_indices,
                                       p1_start, done))
         bfs_span = max(bfs_span, int(done[tree.root]) - p1_start + 1)
-        trace: list[tuple[int, int]] = []
-        walk = ArrayWalk(
-            indptr=sub_indptr,
-            indices=sub_indices,
-            twins=twins,
-            alive=alive,
-            rngs=rngs,
-            size=members.size,
-            initial_head=tree.root,
-            step_budget=dra_step_budget(members.size),
-            tree_depth=max(1, tree.tree_depth),
-            start_round=int(done[tree.root]) + 1,
-            trace=trace,
-        )
-        walk.run()
         fork = ledger.fork()
         _walk_traffic(fork, walk, trace,
                       TreeFloodProfile(fork, tree.parent, tree.depth, members),
-                      tree.eccentricity(walk.flood_initiator))
+                      flood_ecc)
         walk_forks.append(fork)
-        if not walk.success:
+
+    p1 = replay_partition_walks(
+        indptr=sub_indptr, indices=sub_indices, twins=twins, alive=alive,
+        rngs=rngs, color_of=color_of, colors=colors, start_round=p1_start,
+        observer=charge_class)
+    if not p1.ok:
+        if p1.walk_failed:
             flush_phase1()
-            return _finish(
-                _dhc1_fail(n, colors, f"walk-{walk.fail_code}"), ledger)
-        paths[c] = walk.cycle()
-        class_trees[c] = tree
+        return _finish(_dhc1_fail(n, colors, p1.fail_reason), ledger)
+    paths, class_trees = p1.cycles, p1.trees
     flush_phase1()
 
     # -- hypernode selection (l.13-15) + port announcement ----------------------

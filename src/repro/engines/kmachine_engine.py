@@ -223,14 +223,12 @@ def _dhc2_kmachine(
     across-class maximum.  Phase 2 reuses the deterministic merge
     replay with bridge-scan bursts charged per pair.
     """
-    from repro.engines.arraywalk import (
-        ArrayWalk,
-        build_array_tree,
-        edge_twins,
-        filtered_csr,
-    )
     from repro.core.dhc2 import default_color_count
     from repro.engines.fast_dhc2 import _fail, _phase2
+    from repro.engines.phase1_replay import (
+        color_partition,
+        replay_partition_walks,
+    )
 
     n = graph.n
     partition, ledger = _setup(graph, seed, k_machines, link_words,
@@ -239,24 +237,16 @@ def _dhc2_kmachine(
     seeds = np.random.SeedSequence(seed).spawn(n) if n else []
     rngs = [np.random.default_rng(s) for s in seeds]
 
-    color_of = np.array([1 + int(rngs[v].integers(colors)) for v in range(n)],
-                        dtype=np.int64)
+    color_of, sub_indptr, sub_indices, twins, alive = color_partition(
+        graph, rngs, colors)
     indptr, indices = graph.indptr, graph.indices
-    src_all = csr_sources(indptr)
-    ledger.burst(src_all, indices, 2)  # the one colour-announcement round
-    sub_indptr, sub_indices = filtered_csr(
-        indptr, indices, color_of[src_all] == color_of[indices])
-    twins = edge_twins(sub_indptr, sub_indices)
-    alive = np.ones(sub_indices.size, dtype=bool)
+    ledger.burst(csr_sources(indptr), indices, 2)  # colour announcement
 
     elect_budget = diameter_budget(max(3, (2 * n) // max(1, colors)))
     phase1_start = 1 + elect_budget
     floodmin_traffic(ledger, sub_indptr, sub_indices,
                      np.arange(n, dtype=np.int64), elect_budget)
 
-    cycles: dict[int, list[int]] = {}
-    steps = 0
-    phase1_end = phase1_start
     bfs_parts: list[tuple] = []
     bfs_span = 1
     walk_forks: list[LinkLedger] = []
@@ -264,7 +254,8 @@ def _dhc2_kmachine(
     def flush_phase1():
         # The classes' builds and walks share wall-clock rounds: bin
         # the BFS schedules jointly, fold the walk forks as a maximum.
-        # Charged on failure paths too — the traffic demonstrably ran.
+        # Charged on walk-failure paths too — the traffic demonstrably
+        # ran.
         if bfs_parts:
             ticks = np.concatenate([p[0] for p in bfs_parts])
             ledger.series(np.minimum(ticks, bfs_span - 1),
@@ -274,48 +265,27 @@ def _dhc2_kmachine(
                           span=bfs_span)
         ledger.absorb_concurrent(walk_forks)
 
-    for c in range(1, colors + 1):
-        members = np.flatnonzero(color_of == c)
-        if members.size == 0:
-            return _finish(_fail(n, colors, phase1_start, "empty-partition",
-                                 "kmachine"), ledger)
-        tree = build_array_tree(sub_indptr, sub_indices, members,
-                                root=int(members[0]))
-        if tree is None:
-            return _finish(_fail(n, colors, phase1_start,
-                                 "partition-disconnected", "kmachine"), ledger)
-        done = tree.completion_times(phase1_start)
+    def charge_class(c, members, tree, done, walk, trace, flood_ecc):
+        nonlocal bfs_span
         bfs_parts.append(bfs_messages(tree, sub_indptr, sub_indices,
                                       phase1_start, done))
         bfs_span = max(bfs_span, int(done[tree.root]) - phase1_start + 1)
-        trace: list[tuple[int, int]] = []
-        walk = ArrayWalk(
-            indptr=sub_indptr,
-            indices=sub_indices,
-            twins=twins,
-            alive=alive,
-            rngs=rngs,
-            size=members.size,
-            initial_head=tree.root,
-            step_budget=dra_step_budget(members.size),
-            tree_depth=max(1, tree.tree_depth),
-            start_round=int(done[tree.root]) + 1,
-            trace=trace,
-        )
-        walk.run()
-        steps = max(steps, walk.steps)
-        flood_ecc = tree.eccentricity(walk.flood_initiator)
         fork = ledger.fork()
         _walk_traffic(fork, walk, trace,
                       TreeFloodProfile(fork, tree.parent, tree.depth, members),
                       flood_ecc)
         walk_forks.append(fork)
-        if not walk.success:
+
+    p1 = replay_partition_walks(
+        indptr=sub_indptr, indices=sub_indices, twins=twins, alive=alive,
+        rngs=rngs, color_of=color_of, colors=colors,
+        start_round=phase1_start, observer=charge_class)
+    if not p1.ok:
+        if p1.walk_failed:
             flush_phase1()
-            return _finish(_fail(n, colors, walk.end_round,
-                                 f"walk-{walk.fail_code}", "kmachine"), ledger)
-        cycles[c] = walk.cycle()
-        phase1_end = max(phase1_end, walk.end_round + flood_ecc)
+        return _finish(_fail(n, colors, p1.fail_round, p1.fail_reason,
+                             "kmachine"), ledger)
+    cycles, steps, phase1_end = p1.cycles, p1.steps, p1.phase1_end
 
     ledger.quiet(1)  # the BFS-commit / walk-start separation round
     flush_phase1()

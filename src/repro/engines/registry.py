@@ -55,6 +55,13 @@ def _builtin_specs() -> list[EngineSpec]:
                    supported_kwargs=("step_budget",),
                    parity=("cycle", "steps", "rounds"),
                    summary="Algorithm 1, step-level replay on the array kernel"),
+        EngineSpec("dra", "fast-batch",
+                   "repro.engines.fast_batch:_dra_fast_batch_one",
+                   batch_runner="repro.engines.fast_batch:_dra_fast_batch",
+                   supported_kwargs=("step_budget",),
+                   parity=("cycle", "steps", "rounds"),
+                   summary="Algorithm 1, hundreds of trials per pass on the "
+                           "batch-major kernel"),
         EngineSpec("dra", "kmachine", "repro.engines.kmachine_engine:_dra_kmachine",
                    supported_kwargs=("step_budget", "k", *_KMACHINE_COMMON),
                    parity=("cycle", "steps", "rounds"),
@@ -109,6 +116,13 @@ def _builtin_specs() -> list[EngineSpec]:
                    parity=("cycle", "steps"),
                    summary="Alon-Krivelevich CRE solver on CSR position "
                            "arrays"),
+        EngineSpec("cre", "fast-batch",
+                   "repro.engines.fast_batch:_cre_fast_batch_one",
+                   batch_runner="repro.engines.fast_batch:_cre_fast_batch",
+                   supported_kwargs=("step_budget",),
+                   parity=("cycle", "steps"),
+                   summary="Alon-Krivelevich CRE solver, batched trials on "
+                           "shared position arrays"),
         # -- the paper's centralized algorithms --------------------------------
         EngineSpec("upcast", "congest", "repro.core:run_upcast",
                    supported_kwargs=("c_prime", "solver_restarts",

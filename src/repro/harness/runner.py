@@ -123,16 +123,33 @@ class TrialRunner:
         ``"I/N"`` string / ``(index, count)`` pair) restricting this
         runner to its deterministic slice of the (point, trial) grid.
         Seeds for the pairs it runs are identical to an unsharded run.
+    batch_fn:
+        Optional batched trial function ``batch_fn(point, seeds) ->
+        [raw, ...]`` (one raw result per seed, same normalisation as
+        ``fn``'s return).  When set together with ``batch_size > 1``,
+        consecutive pending trials that share a grid point are handed
+        over as one call — the fast-batch engines then run them in
+        one kernel pass.  Seeds, trial order, and store records are
+        identical to the unbatched run (``elapsed_s`` aside, which
+        the canonical records exclude).
+    batch_size:
+        Largest group handed to ``batch_fn`` (default 1 = unbatched).
     """
 
     def __init__(self, fn: Callable[[dict, int], Any], *,
-                 master_seed: int = 0, store=None, shard=None):
+                 master_seed: int = 0, store=None, shard=None,
+                 batch_fn: Callable[[dict, list[int]], Any] | None = None,
+                 batch_size: int = 1):
         from repro.harness.sharding import ShardSpec
 
         self.fn = fn
         self.master_seed = master_seed
         self.store = store
         self.shard = ShardSpec.coerce(shard)
+        if int(batch_size) < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_fn = batch_fn
+        self.batch_size = int(batch_size)
 
     def derive_seed(self, point_index: int, trial_index: int) -> int:
         """The deterministic seed for (grid point #, trial #)."""
@@ -174,6 +191,8 @@ class TrialRunner:
         freshly executed alike.
         """
         points = [dict(p) for p in points]
+        if self.batch_fn is not None and self.batch_size > 1:
+            return self._run_batched(points, trials, progress)
         out: list[Trial] = []
         for point_index, trial_index, point, existing in self._plan(points, trials):
             if existing is not None:
@@ -191,6 +210,51 @@ class TrialRunner:
                 self.store.append(trial)
             if progress is not None:
                 progress(trial)
+        return out
+
+    def _run_batched(self, points, trials: int,
+                     progress: Callable[[Trial], None] | None) -> list[Trial]:
+        """The :meth:`run` loop with same-point groups sent to batch_fn.
+
+        Groups are flushed at point boundaries, at ``batch_size``, and
+        at resumed entries, so the emission (and store write) order is
+        exactly the unbatched schedule order.
+        """
+        out: list[Trial] = []
+        buf: list[tuple[int, int, dict]] = []
+
+        def flush() -> None:
+            if not buf:
+                return
+            point = buf[0][2]
+            seeds = [self.derive_seed(pi, ti) for pi, ti, _ in buf]
+            start = time.perf_counter()
+            raws = self.batch_fn(dict(point), list(seeds))
+            per = (time.perf_counter() - start) / len(buf)
+            if len(raws) != len(buf):
+                raise ValueError(
+                    f"batch_fn returned {len(raws)} results for "
+                    f"{len(buf)} seeds")
+            for (pi, ti, pt), seed, raw in zip(buf, seeds, raws):
+                trial = _normalize(raw, dict(pt), ti, seed, per)
+                out.append(trial)
+                if self.store is not None:
+                    self.store.append(trial)
+                if progress is not None:
+                    progress(trial)
+            buf.clear()
+
+        for point_index, trial_index, point, existing in self._plan(points, trials):
+            if existing is not None:
+                flush()
+                out.append(existing)
+                if progress is not None:
+                    progress(existing)
+                continue
+            if buf and (len(buf) >= self.batch_size or buf[0][2] != point):
+                flush()
+            buf.append((point_index, trial_index, point))
+        flush()
         return out
 
 
@@ -243,10 +307,14 @@ class ParallelTrialRunner(TrialRunner):
     def __init__(self, fn: Callable[[dict, int], Any], *,
                  master_seed: int = 0, store=None, shard=None,
                  jobs: int | None = None, mp_context: str | None = None,
-                 chunksize: int | None = None, schedule="ordered"):
+                 chunksize: int | None = None, schedule="ordered",
+                 batch_fn: Callable[[dict, list[int]], Any] | None = None,
+                 batch_size: int = 1):
         from repro.harness.scheduler import resolve_scheduler
 
-        super().__init__(fn, master_seed=master_seed, store=store, shard=shard)
+        super().__init__(fn, master_seed=master_seed, store=store,
+                         shard=shard, batch_fn=batch_fn,
+                         batch_size=batch_size)
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
         if mp_context is None and sys.platform.startswith("linux") \
                 and "fork" in multiprocessing.get_all_start_methods():
@@ -285,9 +353,34 @@ class ParallelTrialRunner(TrialRunner):
                 if existing is not None:
                     progress(existing)
 
-        tasks = [(slot, point, trial_index,
-                  self.derive_seed(point_index, trial_index))
-                 for slot, point_index, trial_index, point in pending]
+        batching = self.batch_fn is not None and self.batch_size > 1
+        if batching:
+            # Same grouping as the serial batched loop: consecutive
+            # pending slots sharing a point, capped at batch_size.
+            tasks: list = []
+            group: list[tuple[int, int, int, dict]] = []
+
+            def close() -> None:
+                if not group:
+                    return
+                seeds = [self.derive_seed(pi, ti) for _, pi, ti, _ in group]
+                tasks.append((tuple(s for s, _, _, _ in group),
+                              group[0][3],
+                              tuple(ti for _, _, ti, _ in group),
+                              tuple(seeds)))
+                group.clear()
+
+            for ent in pending:
+                if group and (len(group) >= self.batch_size
+                              or group[0][3] != ent[3]
+                              or ent[0] != group[-1][0] + 1):
+                    close()
+                group.append(ent)
+            close()
+        else:
+            tasks = [(slot, point, trial_index,
+                      self.derive_seed(point_index, trial_index))
+                     for slot, point_index, trial_index, point in pending]
         ctx = multiprocessing.get_context(self.mp_context)
         workers = min(self.jobs, len(tasks))
         chunksize = (self.chunksize if self.chunksize is not None
@@ -300,8 +393,9 @@ class ParallelTrialRunner(TrialRunner):
             if progress is not None:
                 progress(trial)
 
+        extra = {"batch_fn": self.batch_fn} if batching else {}
         self.scheduler.execute(ctx, self.fn, tasks, workers=workers,
-                               chunksize=chunksize, emit=emit)
+                               chunksize=chunksize, emit=emit, **extra)
         return results  # type: ignore[return-value]  # every slot filled
 
 

@@ -55,8 +55,12 @@ __all__ = [
 
 #: One pending trial handed to a worker: (slot, point, trial_index, seed).
 #: ``slot`` is the position in the runner's schedule, so out-of-order
-#: completions can be re-keyed without ambiguity.
+#: completions can be re-keyed without ambiguity.  A batched runner
+#: instead hands groups ``(slots, point, trial_indices, seeds)`` (the
+#: first element a tuple marks the batch shape); workers run those
+#: through the installed ``batch_fn`` in one engine pass.
 Task = tuple[int, dict, int, int]
+BatchTask = tuple[tuple, dict, tuple, tuple]
 
 
 class TrialScheduler(abc.ABC):
@@ -75,7 +79,9 @@ class TrialScheduler(abc.ABC):
     @abc.abstractmethod
     def execute(self, ctx, fn: Callable[[dict, int], Any], tasks: list[Task],
                 *, workers: int, chunksize: int,
-                emit: Callable[[int, Trial], None]) -> None:
+                emit: Callable[[int, Trial], None],
+                batch_fn: Callable[[dict, list[int]], Any] | None = None
+                ) -> None:
         """Run ``tasks`` on a ``ctx.Pool(workers)``, emitting results."""
 
     @staticmethod
@@ -94,15 +100,17 @@ class OrderedScheduler(TrialScheduler):
 
     name = "ordered"
 
-    def execute(self, ctx, fn, tasks, *, workers, chunksize, emit) -> None:
+    def execute(self, ctx, fn, tasks, *, workers, chunksize, emit,
+                batch_fn=None) -> None:
         with ctx.Pool(processes=workers, initializer=_pool_initializer,
-                      initargs=(fn,)) as pool:
+                      initargs=(fn, batch_fn)) as pool:
             # imap (ordered) keeps emissions in submission order — the
             # same order the serial runner writes — regardless of how
             # tasks are batched into chunks.
-            for slot, trial in pool.imap(_pool_trial, tasks,
-                                         chunksize=chunksize):
-                emit(slot, trial)
+            for finished in pool.imap(_pool_trial, tasks,
+                                      chunksize=chunksize):
+                for slot, trial in finished:
+                    emit(slot, trial)
 
 
 class WorkStealingScheduler(TrialScheduler):
@@ -117,12 +125,14 @@ class WorkStealingScheduler(TrialScheduler):
 
     name = "work-stealing"
 
-    def execute(self, ctx, fn, tasks, *, workers, chunksize, emit) -> None:
+    def execute(self, ctx, fn, tasks, *, workers, chunksize, emit,
+                batch_fn=None) -> None:
         with ctx.Pool(processes=workers, initializer=_pool_initializer,
-                      initargs=(fn,)) as pool:
-            for slot, trial in pool.imap_unordered(_pool_trial, tasks,
-                                                   chunksize=chunksize):
-                emit(slot, trial)
+                      initargs=(fn, batch_fn)) as pool:
+            for finished in pool.imap_unordered(_pool_trial, tasks,
+                                                chunksize=chunksize):
+                for slot, trial in finished:
+                    emit(slot, trial)
 
     @staticmethod
     def auto_chunksize(pending: int, workers: int) -> int:
@@ -151,19 +161,32 @@ def resolve_scheduler(schedule) -> TrialScheduler:
             f"{sorted(SCHEDULERS)}") from None
 
 
-#: Per-worker trial function, installed once by the pool initializer so
+#: Per-worker trial functions, installed once by the pool initializer so
 #: each task message carries only (slot, point, index, seed).
 _worker_fn: Callable[[dict, int], Any] | None = None
+_worker_batch_fn: Callable[[dict, list[int]], Any] | None = None
 
 
-def _pool_initializer(fn: Callable[[dict, int], Any]) -> None:
-    global _worker_fn
+def _pool_initializer(fn: Callable[[dict, int], Any],
+                      batch_fn: Callable[[dict, list[int]], Any] | None = None
+                      ) -> None:
+    global _worker_fn, _worker_batch_fn
     _worker_fn = fn
+    _worker_batch_fn = batch_fn
 
 
-def _pool_trial(task: Task) -> tuple[int, Trial]:
+def _pool_trial(task: Task | BatchTask) -> list[tuple[int, Trial]]:
     slot, point, trial_index, seed = task
+    if isinstance(slot, tuple):  # one batch group, one engine pass
+        start = time.perf_counter()
+        raws = _worker_batch_fn(dict(point), list(seed))
+        per = (time.perf_counter() - start) / len(slot)
+        if len(raws) != len(slot):
+            raise ValueError(f"batch_fn returned {len(raws)} results "
+                             f"for {len(slot)} seeds")
+        return [(s, _normalize(raw, dict(point), ti, sd, per))
+                for s, ti, sd, raw in zip(slot, trial_index, seed, raws)]
     start = time.perf_counter()
     raw = _worker_fn(dict(point), seed)
     elapsed = time.perf_counter() - start
-    return slot, _normalize(raw, dict(point), trial_index, seed, elapsed)
+    return [(slot, _normalize(raw, dict(point), trial_index, seed, elapsed))]

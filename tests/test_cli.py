@@ -320,6 +320,43 @@ class TestSweepCommand:
         assert code == 2
         assert "two sizes" in err
 
+    def test_sweep_rejects_nonpositive_batch_size(self, capsys):
+        code, _, err = run_cli(
+            capsys, "sweep", "--sizes", "48,64", "--batch-size", "0")
+        assert code == 2
+        assert "--batch-size" in err
+
+    def test_sweep_batch_size_falls_back_without_batch_runner(self, capsys):
+        code, out, err = run_cli(
+            capsys, "sweep", "--algorithm", "dra", "--engine", "fast",
+            "--sizes", "48,64", "--trials", "2", "--c", "8",
+            "--delta", "1.0", "--seed", "5", "--batch-size", "4", "--json")
+        assert code == 0
+        assert "no batch runner" in err
+        assert json.loads(out)["rows"]
+
+    def test_sweep_batched_records_match_unbatched(self, capsys, tmp_path):
+        base = ("sweep", "--algorithm", "dra", "--engine", "fast-batch",
+                "--sizes", "32,48", "--trials", "5", "--c", "8",
+                "--delta", "1.0", "--seed", "5", "--json")
+        code, _, _ = run_cli(capsys, *base, "--store",
+                             str(tmp_path / "solo.jsonl"))
+        assert code == 0
+        code, _, _ = run_cli(capsys, *base, "--batch-size", "3",
+                             "--store", str(tmp_path / "batched.jsonl"))
+        assert code == 0
+
+        def canonical(path):
+            records = []
+            for line in path.open():
+                record = json.loads(line)
+                record.pop("elapsed_s", None)
+                records.append(record)
+            return records
+
+        assert canonical(tmp_path / "solo.jsonl") \
+            == canonical(tmp_path / "batched.jsonl")
+
     def test_sweep_sequential_algorithm_skips_power_law(self, capsys):
         # Sequential engines report rounds=0; the sweep must still
         # print its table instead of dying inside fit_power_law.

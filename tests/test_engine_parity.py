@@ -353,6 +353,144 @@ class TestTreeHelpers:
                                 np.arange(4, dtype=np.int64), root=0) is None
 
 
+class TestPhase1ReplayPin:
+    """The shared Phase-1 replay core preserves every consumer's streams.
+
+    DHC2/fast, DHC2/kmachine, and DHC1/kmachine all run Phase 1 through
+    :mod:`repro.engines.phase1_replay`; these pins were recorded from
+    the pre-extraction per-engine implementations, so any change to the
+    shared core's draw order, class order, or failure accounting shows
+    up here as a concrete divergence rather than a silent re-baseline.
+    """
+
+    PINS = [
+        # (algorithm, engine, kwargs, seed, success, steps, rounds, cycle_hash)
+        ("dhc2", "fast", {"k": 4}, 3, True, 257, 2182, "54a9e90c9f2a02dd"),
+        ("dhc2", "kmachine", {"k": 4}, 3, True, 257, 2182,
+         "54a9e90c9f2a02dd"),
+        ("dhc1", "kmachine", {"k": 4}, 0, True, 5, 1621,
+         "ae16ec33024eda91"),
+    ]
+
+    @pytest.mark.parametrize("algo,engine,kwargs,seed,success,steps,rounds,chash",
+                             PINS, ids=lambda v: str(v))
+    def test_success_pins(self, algo, engine, kwargs, seed, success, steps,
+                          rounds, chash):
+        import hashlib
+        import json
+
+        g = gnp_random_graph(192, 0.6, seed=11)
+        r = repro.run(g, algo, engine=engine, seed=seed, **kwargs)
+        assert r.success == success
+        assert r.steps == steps
+        assert r.rounds == rounds
+        got = hashlib.sha256(json.dumps(r.cycle).encode()).hexdigest()[:16]
+        assert got == chash
+
+    def test_walk_failure_pin(self):
+        # Failure paths route through the same core: the fail reason,
+        # the round it is charged to, and the k-machine ledger total
+        # must all reproduce the pre-extraction numbers.
+        g = gnp_random_graph(192, 0.35, seed=11)
+        r = repro.run(g, "dhc2", engine="fast", seed=9, k=4)
+        assert (r.success, r.steps, r.rounds) == (False, 0, 1039)
+        assert r.detail["fail"] == "walk-1"
+        r = repro.run(g, "dhc1", engine="kmachine", seed=0, k=6)
+        assert not r.success and r.detail["fail"] == "walk-1"
+        assert r.detail["kmachine_rounds"] == 802
+
+    def test_fast_matches_kmachine_through_shared_core(self):
+        # Not a pin: whatever the core does, both consumers must agree
+        # on the Phase-1-determined fields for any seed.
+        g = gnp_random_graph(128, 0.7, seed=4)
+        for seed in (0, 1, 2):
+            fast = repro.run(g, "dhc2", engine="fast", seed=seed, k=4)
+            native = repro.run(g, "dhc2", engine="kmachine", seed=seed, k=4)
+            assert fast.success == native.success
+            assert fast.cycle == native.cycle
+            assert fast.steps == native.steps
+
+
+class TestFastBatchParity:
+    """``fast-batch`` is seed-for-seed identical to per-trial ``fast``.
+
+    The batch kernel interleaves hundreds of trials' draws through
+    shared array passes; these tests hold every RunResult field
+    (including failure codes and step/rotation counters in ``detail``)
+    against a serial loop over the same (graph, seed) pairs — on
+    mixed-outcome batches, single-trial batches, and chunked batches.
+    """
+
+    FIELDS = ("success", "cycle", "steps", "rounds", "detail")
+
+    @staticmethod
+    def _mixed_batch(n, trials, *, factors=(1.0, 8.0, 14.0)):
+        graphs, seeds = [], []
+        for i in range(trials):
+            graphs.append(sample("gnp", n, factors[i % len(factors)],
+                                 seed=300 + i))
+            seeds.append(50 + i)
+        return graphs, seeds
+
+    def assert_batch_parity(self, algorithm, graphs, seeds, context,
+                            **kwargs):
+        spec = REGISTRY.get(algorithm, "fast-batch")
+        serial = REGISTRY.get(algorithm, "fast")
+        got = spec.call_batch(graphs, seeds=seeds, **kwargs)
+        assert len(got) == len(graphs)
+        outcomes = set()
+        for i, (g, s, res) in enumerate(zip(graphs, seeds, got)):
+            want = serial.call(g, seed=s, **kwargs)
+            outcomes.add(want.success)
+            assert res.engine == "fast-batch"
+            for field in self.FIELDS:
+                assert getattr(res, field) == getattr(want, field), (
+                    f"{context}: trial {i} field {field}")
+        return outcomes
+
+    @pytest.mark.parametrize("algorithm", ["dra", "cre"])
+    @pytest.mark.parametrize("n", [16, 96])
+    def test_mixed_outcome_batch(self, algorithm, n):
+        graphs, seeds = self._mixed_batch(n, 9)
+        outcomes = self.assert_batch_parity(
+            algorithm, graphs, seeds, f"{algorithm} n={n}")
+        if n == 96:
+            # The density mix must actually exercise both paths.
+            assert outcomes == {True, False}
+
+    @pytest.mark.parametrize("algorithm", ["dra", "cre"])
+    def test_single_trial_batch(self, algorithm):
+        graphs, seeds = self._mixed_batch(64, 1, factors=(8.0,))
+        self.assert_batch_parity(algorithm, graphs, seeds,
+                                 f"{algorithm} B=1")
+
+    def test_step_budget_batch(self):
+        graphs, seeds = self._mixed_batch(64, 4, factors=(8.0,))
+        self.assert_batch_parity("dra", graphs, seeds, "dra budget",
+                                 step_budget=7)
+
+    def test_chunked_equals_unchunked(self, monkeypatch):
+        from repro.engines import fast_batch
+
+        graphs, seeds = self._mixed_batch(48, 7)
+        spec = REGISTRY.get("dra", "fast-batch")
+        whole = spec.call_batch(graphs, seeds=seeds)
+        monkeypatch.setattr(fast_batch, "_EDGE_BUDGET",
+                            graphs[0].indices.size + 1)
+        chunked = spec.call_batch(graphs, seeds=seeds)
+        for a, b in zip(whole, chunked):
+            for field in self.FIELDS:
+                assert getattr(a, field) == getattr(b, field)
+
+    def test_same_n_required(self):
+        spec = REGISTRY.get("dra", "fast-batch")
+        graphs = [sample("gnp", 16, 8.0, 1), sample("gnp", 32, 8.0, 1)]
+        with pytest.raises(ValueError, match="same-n"):
+            spec.call_batch(graphs, seeds=[1, 2])
+        with pytest.raises(ValueError, match="one seed per graph"):
+            spec.call_batch(graphs[:1], seeds=[1, 2])
+
+
 class TestCsrHelpers:
     def test_gather_neighbors_matches_slices(self):
         g = sample("gnp", 64, 4.0, seed=5)
