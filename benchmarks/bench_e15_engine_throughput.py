@@ -29,6 +29,14 @@ Environment knobs (the CI perf-smoke step runs ``E15_SIZES=256``):
   CI smoke step to feed the advisory ``check_bench`` comparison; the
   committed baseline is still only rewritten on a full sweep).
 
+The batched lane is timed twice: once with the kernel dispatch forced
+to pure numpy (the ``batch_trials_per_sec`` column — honest even when
+this process runs under ``REPRO_JIT=1``), and once through the fused
+compiled kernels (``batch_jit_trials_per_sec``).  On hosts without
+numba the jitted column records ``null`` rather than timing the
+uncompiled ``*_impl`` loops as if they were compiled — the committed
+curve never claims a speedup the host could not measure.
+
 Points skipped by those caps are reported in the table (no silent
 truncation) and recorded as ``null`` in the JSON.
 
@@ -42,9 +50,11 @@ import json
 import math
 import os
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 import repro
+from repro.engines import _jit
 from repro.engines.fast import _dra_fast_py
 from repro.engines.fast_dhc2 import _dhc2_fast_py
 from repro.engines.registry import REGISTRY
@@ -101,24 +111,45 @@ def _throughput(algorithm: str, engine: str, n: int) -> float:
     return trials / (time.perf_counter() - start)
 
 
-def _batch_throughput(n: int, batch: int) -> float:
+@contextmanager
+def _noop():
+    yield
+
+
+@contextmanager
+def _numpy_kernels():
+    """Force the pure-numpy batch path for one timed lane."""
+    saved = (_jit.walk_kernel, _jit.tree_kernel, _jit.reverse_blocks)
+    _jit.walk_kernel = _jit.tree_kernel = _jit.reverse_blocks = None
+    try:
+        yield
+    finally:
+        _jit.walk_kernel, _jit.tree_kernel, _jit.reverse_blocks = saved
+
+
+def _batch_throughput(n: int, batch: int, *, jit: bool = False) -> float:
     """Trials/sec of one ``fast-batch`` engine pass over ``batch`` graphs.
 
     Graph sampling stays outside the timed window (as in
     :func:`_throughput`); small (n, batch) points repeat the pass to
-    widen the timing window.
+    widen the timing window.  ``jit=False`` pins the pure-numpy
+    kernels regardless of ``REPRO_JIT``; ``jit=True`` times whatever
+    :mod:`repro.engines._jit` compiled (callers must check
+    ``_jit.ENABLED`` first — the warm-up pass also absorbs numba's
+    first-call compilation).
     """
     spec = REGISTRY.resolve("dra", "fast-batch")
     rounds = 3 if n * batch <= 64 * 1024 else 1
-    spec.call_batch([_graph("dra", 64, seed=99)], seeds=[99])  # warm up
-    elapsed = 0.0
-    for r in range(rounds):
-        graphs = [_graph("dra", n, seed=1000 + r * batch + i)
-                  for i in range(batch)]
-        seeds = [r * batch + i for i in range(batch)]
-        start = time.perf_counter()
-        spec.call_batch(graphs, seeds=seeds)
-        elapsed += time.perf_counter() - start
+    with (_noop() if jit else _numpy_kernels()):
+        spec.call_batch([_graph("dra", 64, seed=99)], seeds=[99])  # warm up
+        elapsed = 0.0
+        for r in range(rounds):
+            graphs = [_graph("dra", n, seed=1000 + r * batch + i)
+                      for i in range(batch)]
+            seeds = [r * batch + i for i in range(batch)]
+            start = time.perf_counter()
+            spec.call_batch(graphs, seeds=seeds)
+            elapsed += time.perf_counter() - start
     return rounds * batch / elapsed
 
 
@@ -140,24 +171,58 @@ def test_e15_engine_throughput(benchmark):
          ["algorithm", "engine", "n", "trials/sec"], rows)
 
     # Batched lane: DRA through one fast-batch kernel pass per group.
+    # Minutes of sustained full-CPU sweep throttle this host measurably
+    # between the engine series above and these rows, so each size's
+    # speedup divides by a *paired* fast reference measured adjacent to
+    # its batch rows — both sides of the ratio see the same CPU state.
+    # The absolute engine series above is unchanged; the paired
+    # denominators are recorded alongside the ratios.
     batch_series: dict[str, dict[str, float]] = {}
+    batch_fast_ref: dict[str, float] = {}
     batch_rows = []
     for n in SIZES:
         batch_series[str(n)] = {}
+        batch_fast_ref[str(n)] = serial = _throughput("dra", "fast", n)
         for batch in BATCH_SIZES:
             tps = _batch_throughput(n, batch)
             batch_series[str(n)][str(batch)] = tps
-            serial = series["dra"]["fast"][str(n)]
             batch_rows.append((n, batch, round(tps, 3),
                                round(tps / serial, 2)))
     show("E15: batched throughput (dra, fast-batch)",
          ["n", "batch", "trials/sec", "vs fast"], batch_rows)
     batch_speedups = {
-        n: {b: round(tps / series["dra"]["fast"][n], 2)
+        n: {b: round(tps / batch_fast_ref[n], 2)
             for b, tps in by_batch.items()}
         for n, by_batch in batch_series.items()
     }
     print(f"fast-batch vs fast speedups: {batch_speedups}")
+
+    # Jitted lane: the same passes through the fused compiled kernels.
+    # Without numba every point records null — the committed curve
+    # never claims a compiled speedup the host could not measure.
+    jit_series: dict[str, dict[str, float | None]] = {}
+    jit_rows = []
+    for n in SIZES:
+        jit_series[str(n)] = {}
+        for batch in BATCH_SIZES:
+            tps = (_batch_throughput(n, batch, jit=True)
+                   if _jit.ENABLED else None)
+            jit_series[str(n)][str(batch)] = tps
+            jit_rows.append((n, batch,
+                             "skipped (no numba)" if tps is None
+                             else round(tps, 3),
+                             "-" if tps is None
+                             else round(tps / batch_series[str(n)][str(batch)],
+                                        2)))
+    show("E15: jitted batched throughput (dra, fast-batch, REPRO_JIT)",
+         ["n", "batch", "trials/sec", "vs numpy batch"], jit_rows)
+    jit_speedups = {
+        n: {b: (None if tps is None
+                else round(tps / batch_series[n][b], 2))
+            for b, tps in by_batch.items()}
+        for n, by_batch in jit_series.items()
+    }
+    print(f"jit vs numpy fast-batch speedups: {jit_speedups}")
 
     speedups = {}
     for algorithm, by_engine in series.items():
@@ -186,6 +251,12 @@ def test_e15_engine_throughput(benchmark):
         best_batched = max(v for b, v in batch_speedups[str(max(SIZES))]
                            .items() if int(b) >= 32)
         assert best_batched >= 1.5, batch_speedups
+        if _jit.ENABLED:
+            # The fused kernel must not lose to the numpy passes it
+            # replaces at the headline point (n=max, batch >= 32).
+            best_jit = max(v for b, v in jit_speedups[str(max(SIZES))]
+                           .items() if v is not None and int(b) >= 32)
+            assert best_jit >= 1.0, jit_speedups
 
     payload = {
         "experiment": "e15_engine_throughput",
@@ -197,16 +268,32 @@ def test_e15_engine_throughput(benchmark):
         "trials_per_sec": series,
         "speedup_fast_vs_fast_py": speedups,
         "batch_trials_per_sec": batch_series,
+        "batch_fast_ref_trials_per_sec": batch_fast_ref,
         "speedup_fast_batch_vs_fast": batch_speedups,
+        "jit_enabled": _jit.ENABLED,
+        "batch_jit_trials_per_sec": jit_series,
+        "speedup_jit_vs_numpy_batch": jit_speedups,
+        "jit_note": (
+            "batch_jit_* columns time the fused numba kernels "
+            "(REPRO_JIT=1); null means this host has no numba and the "
+            "compiled path was not measured — the numpy columns above "
+            "are the fallback every host gets. The CI jit lane runs "
+            "the smoke grid compiled and feeds check_bench."),
         "batch_note": (
             "Measured on a single-core host where the serial fast "
             "engine is already fully vectorised per step; batching "
             "amortises Python/numpy dispatch across trials but adds "
             "no parallel hardware, so the realised gain tops out "
-            "around 1.9-2.2x at batch 256 across runs (the issue's "
+            "around 1.8-2.2x at n=4096/batch 256 across runs, with "
+            "smaller sizes landing lower (~1.3-2.0; the issue's "
             "aspirational 3x assumed dispatch overhead dominated more "
-            "than it does here). Batch ~256 at n=4096 is the cache "
-            "sweet spot; larger batches regress by overflowing LLC."),
+            "than it does here). Speedups divide by the paired "
+            "batch_fast_ref_trials_per_sec reference measured "
+            "adjacent to the batch rows: minutes of sustained sweep "
+            "throttle this host measurably, so same-CPU-state pairing "
+            "is what keeps the ratio honest. Batch ~256 at n=4096 is "
+            "the cache sweet spot; larger batches regress by "
+            "overflowing LLC."),
     }
     if FULL_SWEEP:
         OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

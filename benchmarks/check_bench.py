@@ -8,7 +8,13 @@ Usage::
 
 Walks both JSON payloads in parallel and compares every numeric leaf
 present in *both* (paths only one side has — e.g. a smoke run's reduced
-size grid — are skipped and counted):
+size grid — are skipped and counted).  A list whose elements are all
+numbers (and at least two of them) is treated as *repeated samples of
+one measurement* and collapsed to its median before comparison — so
+benchmarks can record every repeat honestly while the advisory check
+sees one noise-damped value per leaf instead of racing element 0 of a
+fresh run against element 0 of the baseline.  Mixed or single-element
+lists still flatten element-wise (``path.0``, ``path.1``, ...):
 
 * **rate-like** leaves (key contains ``per_sec`` or ``speedup``):
   lower is worse; a regression is ``fresh < baseline * (1 - tolerance)``.
@@ -29,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 from pathlib import Path
 
@@ -43,16 +50,28 @@ CONFIG_KEYS = frozenset({
 })
 
 
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def numeric_leaves(payload, prefix=""):
-    """Flatten to {dotted.path: float} over int/float leaves."""
+    """Flatten to {dotted.path: float} over int/float leaves.
+
+    All-numeric lists of two or more elements are repeated samples of
+    one measurement: they collapse to their median at the list's own
+    path (see the module docstring).
+    """
     out = {}
     if isinstance(payload, dict):
         for key, value in payload.items():
             out.update(numeric_leaves(value, f"{prefix}{key}."))
     elif isinstance(payload, list):
-        for index, value in enumerate(payload):
-            out.update(numeric_leaves(value, f"{prefix}{index}."))
-    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        if len(payload) >= 2 and all(_is_number(v) for v in payload):
+            out[prefix[:-1]] = float(statistics.median(payload))
+        else:
+            for index, value in enumerate(payload):
+                out.update(numeric_leaves(value, f"{prefix}{index}."))
+    elif _is_number(payload):
         out[prefix[:-1]] = float(payload)
     return out
 

@@ -72,6 +72,7 @@ from repro.analysis.bounds import (
     predicted_upcast_rounds,
 )
 from repro.analysis.concentration import merge_step_failure, partition_size_failure
+from repro.engines.fast_batch import AUTO_BATCH_MIN_TRIALS, auto_batch_size
 from repro.engines.registry import REGISTRY
 from repro.graphs import (
     degree_statistics,
@@ -188,12 +189,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1 = serial; seeds and "
                               "records are identical either way)")
-    sweep_p.add_argument("--batch-size", type=int, default=1,
+    sweep_p.add_argument("--batch-size", type=int, default=None,
                          help="trials per engine pass for batched engines "
                               "(e.g. --engine fast-batch); 1 = per-trial "
                               "calls; engines without batch support warn "
                               "and fall back (records are identical for "
-                              "any value)")
+                              "any value).  Default: with --engine auto "
+                              f"and >= {AUTO_BATCH_MIN_TRIALS} trials the "
+                              "sweep auto-selects fast-batch where "
+                              "registered, sizing batches per point from "
+                              "REPRO_BATCH_EDGE_BUDGET; otherwise 1")
     sweep_p.add_argument("--chunksize", type=int, default=None,
                          help="trials per worker IPC message (with --jobs; "
                               "default auto-sizes from the sweep, 1 = "
@@ -400,6 +405,24 @@ class _SweepTrial:
         return spec.call(graph, seed=seed, **kwargs)
 
 
+class _AutoBatchSize:
+    """Picklable per-point batch caps for the auto-selected batch path.
+
+    Sizes each grid point's groups from its expected edge density
+    (:func:`~repro.engines.fast_batch.auto_batch_size` under
+    ``REPRO_BATCH_EDGE_BUDGET``), so one sweep mixes small-n points
+    batched in the hundreds with large-n points batched to fit memory.
+    """
+
+    def __init__(self, delta: float, c: float):
+        self.delta = delta
+        self.c = c
+
+    def __call__(self, point: dict) -> int:
+        n = int(point["n"])
+        return auto_batch_size(n, paper_probability(n, self.delta, self.c))
+
+
 class _SweepTrialBatch:
     """A batch of sweep trials as one picklable engine pass.
 
@@ -437,11 +460,21 @@ def _cmd_sweep(args) -> int:
     spec = REGISTRY.resolve(algorithm, engine)
     resolved_engine = spec.engine
 
-    if args.batch_size < 1:
+    if args.batch_size is not None and args.batch_size < 1:
         print("--batch-size must be >= 1", file=sys.stderr)
         return 2
-    batch_size = args.batch_size
-    if batch_size > 1 and not spec.batched:
+    batch_size: int | _AutoBatchSize = args.batch_size or 1
+    if args.batch_size is None:
+        # Large same-point queues get the batch kernel without a flag:
+        # results are seed-for-seed identical to per-trial fast, so
+        # auto-selection only changes throughput.
+        if (engine == "auto" and args.trials >= AUTO_BATCH_MIN_TRIALS
+                and (algorithm, "fast-batch") in REGISTRY):
+            engine = "fast-batch"
+            spec = REGISTRY.get(algorithm, "fast-batch")
+            resolved_engine = spec.engine
+            batch_size = _AutoBatchSize(args.delta, args.c)
+    elif batch_size > 1 and not spec.batched:
         print(f"engine {resolved_engine!r} has no batch runner; "
               f"ignoring --batch-size {batch_size} (try --engine "
               f"fast-batch)", file=sys.stderr)
@@ -469,7 +502,7 @@ def _cmd_sweep(args) -> int:
                            extra)
     runner_cls = ParallelTrialRunner if args.jobs > 1 else TrialRunner
     runner_kwargs = {"master_seed": args.seed, "store": store, "shard": shard}
-    if batch_size > 1:
+    if callable(batch_size) or batch_size > 1:
         runner_kwargs["batch_fn"] = _SweepTrialBatch(
             algorithm, engine, args.delta, args.c, args.model, extra)
         runner_kwargs["batch_size"] = batch_size
@@ -579,6 +612,8 @@ def _cmd_engines(args) -> int:
             "supported_kwargs": sorted(s.supported_kwargs),
             "kmachine_convertible": s.kmachine_convertible,
             "audits_memory": s.audits_memory,
+            "batched": s.batched,
+            "jit": s.jit,
             "parity": sorted(s.parity),
             "summary": s.summary,
         } for s in specs], indent=2))
@@ -586,11 +621,14 @@ def _cmd_engines(args) -> int:
         rows = [[s.algorithm, s.engine,
                  "yes" if s.kmachine_convertible else "-",
                  "yes" if s.audits_memory else "-",
+                 "yes" if s.batched else "-",
+                 "yes" if s.jit else "-",
                  ",".join(sorted(s.supported_kwargs)) or "-",
                  s.summary]
                 for s in specs]
         print(render_table(
-            ["algorithm", "engine", "k-machine", "audit", "kwargs", "summary"],
+            ["algorithm", "engine", "k-machine", "audit", "batched", "jit",
+             "kwargs", "summary"],
             rows, title="registered (algorithm, engine) pairs"))
     return 0
 

@@ -102,6 +102,11 @@ class EngineSpec:
         engines themselves and for engines with no reference
         counterpart; every non-empty declaration is enforced by
         ``tests/test_engine_parity.py``'s registry parity gate.
+    jit:
+        True when the runner dispatches through the optional compiled
+        kernels in :mod:`repro.engines._jit` under ``REPRO_JIT=1``
+        (results stay bitwise identical to the numpy path either way;
+        purely informational — ``repro engines`` lists it).
     priority:
         ``engine="auto"`` preference (higher wins); defaults to
         :data:`ENGINE_PRIORITY` for the standard engine names.
@@ -117,6 +122,7 @@ class EngineSpec:
     kmachine_convertible: bool = False
     audits_memory: bool = False
     parity: frozenset[str] = frozenset()
+    jit: bool = False
     priority: int = field(default=-1)
     summary: str = ""
 

@@ -85,8 +85,14 @@ fall back to per-draw ``integers`` calls on real per-node generators,
 which is slower but definitionally exact.
 
 An optional compiled backend (:mod:`repro.engines._jit`, behind
-``REPRO_JIT`` + the ``jit`` extra) replaces the popcount bit-select
-scan with a numba loop; the fallback is pure numpy and the default.
+``REPRO_JIT`` + the ``jit`` extra) replaces the whole per-pass step
+loop with one fused numba kernel per batch — per-step PCG64 draw,
+bit-select, twin kill, and path update in a single compiled loop over
+the same state arrays, bitwise identical by construction (trials are
+independent, so per-trial completion order equals pass-interleaved
+order stream by stream).  The fallback is pure numpy and the default;
+dispatch looks the kernels up on :mod:`repro.engines._jit` at call
+time so a host can toggle them within one process.
 """
 
 from __future__ import annotations
@@ -102,6 +108,7 @@ __all__ = [
     "DrawPool",
     "build_batch_tree",
     "stack_graph_csrs",
+    "stacked_edge_twins",
     "reverse_path_blocks",
 ]
 
@@ -464,57 +471,26 @@ def _padded_rows(values: np.ndarray, starts: np.ndarray,
     return values[flat], cols < degs[:, None]
 
 
-def _select_bits_loop(bits, wstarts, draws):  # pragma: no cover - jit only
-    out = np.empty(draws.size, dtype=np.int64)
-    for i in range(draws.size):
-        rem = draws[i]
-        w = wstarts[i]
-        base = np.int64(0)
-        while True:
-            word = bits[w]
-            c = np.int64(0)
-            tmp = word
-            while tmp:
-                c += 1
-                tmp &= tmp - np.uint64(1)
-            if rem < c:
-                break
-            rem -= c
-            w += 1
-            base += 64
-        j = np.int64(0)
-        while True:
-            if word & np.uint64(1):
-                if rem == 0:
-                    break
-                rem -= 1
-            word >>= np.uint64(1)
-            j += 1
-        out[i] = base + j
-    return out
+def stacked_edge_twins(indptr: np.ndarray, indices: np.ndarray,
+                       batch: int, size: int) -> np.ndarray:
+    """Reverse-edge permutation of a stacked CSR, one block at a time.
 
-
-def _reverse_blocks_loop(path_flat, pos, rows, los, highs,
-                         size):  # pragma: no cover - jit only
-    for t in range(rows.size):
-        base = rows[t] * size
-        i = base + los[t]
-        j = base + highs[t] - 1
-        while i < j:
-            tmp = path_flat[i]
-            path_flat[i] = path_flat[j]
-            path_flat[j] = tmp
-            i += 1
-            j -= 1
-        for c in range(los[t], highs[t]):
-            pos[path_flat[base + c]] = c
-
-
-if _jit.ENABLED:  # pragma: no cover - exercised in the CI jit variant
-    _select_bits = _jit.compile_kernel(_select_bits_loop)
-    _reverse_blocks = _jit.compile_kernel(_reverse_blocks_loop)
-else:
-    _select_bits = _reverse_blocks = None
+    A stable argsort of the destination column re-lists the
+    (src, dst)-sorted edges in (dst, src) order, and reversal is an
+    order-preserving bijection between those orders — so the
+    permutation *is* its own reverse-edge table (and involution).
+    Per trial block: each block is closed under reversal, and the
+    block-local sorts stay cache-resident.  Exposed so callers that
+    run several walks over one stacked CSR (the per-colour-class
+    DHC2 batch) can compute the table once.
+    """
+    twins = np.empty(indices.size, dtype=np.int32)
+    for b in range(batch):
+        lo = int(indptr[b * size])
+        hi = int(indptr[(b + 1) * size])
+        twins[lo:hi] = np.argsort(indices[lo:hi], kind="stable")
+        twins[lo:hi] += np.int32(lo)
+    return twins
 
 
 def reverse_path_blocks(path_flat: np.ndarray, pos: np.ndarray,
@@ -529,8 +505,9 @@ def reverse_path_blocks(path_flat: np.ndarray, pos: np.ndarray,
     rotation step of every batched walk that keeps eager positions
     (the CRE chunk); :class:`BatchWalk` itself rotates by descriptor.
     """
-    if _reverse_blocks is not None:  # pragma: no cover - jit variant
-        _reverse_blocks(path_flat, pos, rows, los, highs, size)
+    kern = _jit.reverse_blocks
+    if kern is not None:  # pragma: no cover - jit variant
+        kern(path_flat, pos, rows, los, highs, size)
         return
     seg = highs - los
     total = int(seg.sum())
@@ -568,7 +545,7 @@ class BatchTree:
         self.batch = batch
         self.n = n
         self.roots = roots          # global ids, one per trial
-        self.ok = ok                # per-trial: all n nodes reached?
+        self.ok = ok                # per-trial: all participants reached?
         self.depth = depth          # flat B*n, -1 outside the trees
         self.parent = parent        # flat B*n, -1 at roots / outside
         self.tree_depth = tree_depth  # per-trial max depth
@@ -614,9 +591,14 @@ class BatchTree:
 
             done_b = done[base:base + n]
             kid = np.zeros(n, dtype=np.int64)
-            by_depth = np.argsort(dep, kind="stable")
             top = int(dep.max())
-            level_sizes = np.bincount(dep, minlength=top + 1)
+            # Nodes outside the tree (depth -1: non-participants of a
+            # partition walk) sort into a trailing pseudo-level the
+            # loop below never visits; full blocks have none, so this
+            # relabelling is the identity there.
+            dep_lv = np.where(dep >= 0, dep, top + 1)
+            by_depth = np.argsort(dep_lv, kind="stable")
+            level_sizes = np.bincount(dep_lv, minlength=top + 2)
             stops = np.cumsum(level_sizes)
             for d in range(top, -1, -1):
                 level = by_depth[stops[d] - level_sizes[d]:stops[d]]
@@ -673,23 +655,44 @@ class BatchTree:
 
 
 def build_batch_tree(indptr: np.ndarray, indices: np.ndarray,
-                     batch: int, n: int, roots: np.ndarray) -> BatchTree:
+                     batch: int, n: int, roots: np.ndarray,
+                     expect: np.ndarray | None = None,
+                     live: np.ndarray | None = None) -> BatchTree:
     """Build every trial's min-id BFS tree over the stacked CSR.
 
     Unlike :func:`~repro.engines.arraywalk.build_array_tree` this never
     returns ``None``: disconnected trials are reported per-trial via
     :attr:`BatchTree.ok` so the rest of the batch keeps going.
+
+    ``expect`` is the per-trial participant count a complete BFS must
+    reach (default: all ``n`` nodes of the block; the per-colour-class
+    DHC2 batch passes class sizes).  ``live`` masks trials to skip
+    entirely — their root entry may be garbage and their block keeps
+    depth -1 with ``ok`` False.
     """
     total = batch * n
+    roots = np.asarray(roots, dtype=np.int64)
+    expect = (np.full(batch, n, dtype=np.int64) if expect is None
+              else np.asarray(expect, dtype=np.int64))
+    live = (np.ones(batch, dtype=bool) if live is None
+            else np.asarray(live, dtype=bool))
     depth = np.full(total, -1, dtype=np.int64)
     parent = np.full(total, -1, dtype=np.int64)
     ok = np.zeros(batch, dtype=bool)
     tree_depth = np.zeros(batch, dtype=np.int64)
+    kern = _jit.tree_kernel
+    if kern is not None:  # pragma: no cover - exercised in the jit lane
+        kern(np.asarray(indptr, dtype=np.int64), indices, roots, expect,
+             live, n, depth, parent, ok, tree_depth)
+        return BatchTree(batch, n, roots, ok, depth, parent, tree_depth,
+                         indptr, indices)
     # Trial by trial over graph-local slices: components never
     # interact, so this is the union BFS evaluated in an order that
     # keeps each trial's n-node arrays cache-resident instead of
     # streaming multi-million-entry union temps through memory.
     for b in range(batch):
+        if not live[b]:
+            continue
         base = b * n
         lo = int(indptr[base])
         ip = (indptr[base:base + n + 1] - lo).astype(np.int64)
@@ -710,7 +713,7 @@ def build_batch_tree(indptr: np.ndarray, indices: np.ndarray,
             # the sort a np.unique of the wave would cost.
             dep[fresh] = d
             frontier = np.flatnonzero(dep == d)
-        ok[b] = bool((dep >= 0).all())
+        ok[b] = int((dep >= 0).sum()) == int(expect[b])
         tree_depth[b] = int(dep.max())
 
         # Min-id parent rule: rows are sorted ascending, so each
@@ -726,8 +729,8 @@ def build_batch_tree(indptr: np.ndarray, indices: np.ndarray,
         par[r] = -1
         depth[base:base + n] = dep
         parent[base:base + n] = np.where(par >= 0, par + base, -1)
-    return BatchTree(batch, n, np.asarray(roots, dtype=np.int64), ok,
-                     depth, parent, tree_depth, indptr, indices)
+    return BatchTree(batch, n, roots, ok, depth, parent, tree_depth,
+                     indptr, indices)
 
 
 class BatchWalk:
@@ -738,34 +741,52 @@ class BatchWalk:
     draws, edge kills, extension/rotation/closure sequence, round
     accounting, and failure codes are unchanged); only the execution
     order interleaves — pass k performs step k of every trial still
-    live.  All trials share the step budget (same n), so the budget
-    gate stays a single per-pass comparison, exactly mirroring the
-    serial "check before scanning edges" order; no-edge trials fail
-    *before* any draw, also mirroring serial.
+    live.  The budget gate runs before the edge scan and no-edge
+    trials fail *before* any draw, exactly mirroring the serial check
+    order.
 
     Parameters mirror :class:`~repro.engines.arraywalk.ArrayWalk` with
     the batch axis added: ``initial_heads`` / ``tree_depths`` /
     ``start_rounds`` are per-trial vectors, ``draws`` is the batch's
     :class:`DrawPool` (one stream per global node id), and ``live``
     masks trials excluded before the walk starts (e.g. disconnected
-    graphs).  Every trial's participant set is its full n-node block.
+    graphs).  By default every trial's participant set is its full
+    n-node block; partition walks (the per-colour-class DHC2 batch)
+    pass per-trial participant counts via ``sizes`` and a per-trial
+    ``step_budget`` vector — closure then requires
+    ``plen == sizes[b]``, and blocks may contain non-participant
+    nodes as long as the CSR never reaches them (class rows are
+    colour-closed).  ``twins`` accepts a precomputed
+    :func:`stacked_edge_twins` table so several walks over one
+    stacked CSR share the sort.
+
+    When :mod:`repro.engines._jit` has compiled kernels *and* the
+    pool is in exact (vector-replication) mode, :meth:`run` hands the
+    whole walk to the fused kernel instead of the numpy pass loop;
+    outcomes are bitwise identical either way.
     """
 
-    __slots__ = ("batch", "size", "draws", "step_budget", "latency",
+    __slots__ = ("batch", "size", "sizes", "draws", "step_budget",
+                 "latency",
                  "seg_cap", "success", "fail_code", "steps", "rotations",
                  "extensions", "round", "end_round", "flood_initiator",
                  "plen", "head", "_indptr", "_ip32", "_twins", "_wp32",
                  "_bits", "_alive_count", "_idx_pad", "_buf", "_bpos",
                  "_tail", "_segs", "_seg_cnt", "_live", "_rotation_cost",
-                 "_cols", "_cols32", "_lanes")
+                 "_budgets", "_cols", "_cols32", "_lanes")
 
     def __init__(self, *, indptr, indices, draws, batch, size,
                  initial_heads, step_budget, tree_depths, start_rounds,
-                 live=None, latency=1, seg_cap=64):
+                 live=None, latency=1, seg_cap=64, sizes=None, twins=None):
         self.batch = batch
         self.size = size
+        self.sizes = (np.full(batch, size, dtype=np.int64) if sizes is None
+                      else np.asarray(sizes, dtype=np.int64).copy())
         self.draws = draws
         self.step_budget = step_budget
+        budgets = np.asarray(step_budget, dtype=np.int64)
+        self._budgets = (np.full(batch, budgets) if budgets.ndim == 0
+                         else budgets.copy())
         self.latency = max(1, latency)
         # Room for one split + one append per pass between compactions.
         self.seg_cap = cap = max(8, int(seg_cap))
@@ -796,19 +817,8 @@ class BatchWalk:
         self._idx_pad = np.concatenate(
             (np.asarray(indices, dtype=np.int32),
              np.full(maxdeg, -1, dtype=np.int32)))
-        # A stable argsort of the destination column re-lists the
-        # (src, dst)-sorted edges in (dst, src) order, and reversal is
-        # an order-preserving bijection between those orders — so the
-        # permutation *is* its own reverse-edge table (and involution).
-        # Per trial block: each block is closed under reversal, and
-        # the block-local sorts stay cache-resident.
-        twins = np.empty(indices.size, dtype=np.int32)
-        for b in range(batch):
-            lo = int(indptr[b * size])
-            hi = int(indptr[(b + 1) * size])
-            twins[lo:hi] = np.argsort(indices[lo:hi], kind="stable")
-            twins[lo:hi] += np.int32(lo)
-        self._twins = twins
+        self._twins = (stacked_edge_twins(indptr, indices, batch, size)
+                       if twins is None else twins)
         # Live edges, one bit per directed slot: row r owns words
         # [wptr[r], wptr[r+1]) — bit j of the run is local slot j.
         # One max-width spill row keeps masked gathers unclamped.
@@ -939,11 +949,47 @@ class BatchWalk:
         self.end_round[trials] = self.round[trials]
         self._live[trials] = False
 
+    def _run_fused(self, kern) -> None:
+        """Hand the whole walk to the compiled kernel (exact pools only)."""
+        from repro.core.rotation import FAIL_BUDGET, FAIL_NO_EDGES
+
+        pool = self.draws
+        order = np.flatnonzero(self._live)
+        if order.size == 0:
+            return
+        # uint64 wraparound is the LCG arithmetic itself; silence the
+        # numpy-2 scalar overflow warning for the uncompiled case (the
+        # parity tests run the kernel as plain Python).
+        with np.errstate(over="ignore"):
+            kern(order, np.asarray(self._indptr, dtype=np.int64),
+                 self._idx_pad, self._twins, self._wp32, self._bits,
+                 self._alive_count,
+                 pool._sh, pool._sl, pool._ih, pool._il,
+                 pool._word, pool._pend,
+                 self._buf.reshape(-1), self._bpos, self._tail, self.sizes,
+                 self._budgets, self._rotation_cost,
+                 self.head, self.plen, self.round, self.steps,
+                 self.rotations, self.extensions,
+                 self.success, self.fail_code, self.end_round,
+                 self.flood_initiator, self._live,
+                 self.size, FAIL_BUDGET, FAIL_NO_EDGES)
+        # The kernel keeps eager path positions in the backing rows;
+        # re-describe each ran trial as one forward run so cycle() /
+        # verified_cycles() read the same state the numpy path leaves.
+        self._segs[order, 0, 0] = 0
+        self._segs[order, 1, 0] = self.plen[order]
+        self._segs[order, 2, 0] = 1
+        self._seg_cnt[order] = 1
+
     def run(self) -> None:
         from repro.core.rotation import FAIL_BUDGET, FAIL_NO_EDGES, FAIL_TOO_SMALL
 
-        if self.size < 3:
-            self._fail(np.flatnonzero(self._live), FAIL_TOO_SMALL)
+        small = np.flatnonzero(self._live & (self.sizes < 3))
+        if small.size:
+            self._fail(small, FAIL_TOO_SMALL)
+        kern = _jit.walk_kernel
+        if kern is not None and getattr(self.draws, "exact", False):
+            self._run_fused(kern)
             return
         ip32, idx_pad, twins = self._ip32, self._idx_pad, self._twins
         wp32, bits = self._wp32, self._bits
@@ -958,18 +1004,27 @@ class BatchWalk:
         segs = self._segs
         segs_flat = segs.reshape(-1)
         seg_cnt = self._seg_cnt
-        size, budget, cap = self.size, self.step_budget, self.seg_cap
+        size, budgets, cap = self.size, self._budgets, self.seg_cap
         plane = cap  # flat stride between the lo/hi/dir planes
         axis3 = np.arange(3, dtype=np.int64)[None, :, None]
+        # Uniform batches (every full-block walk) keep the per-pass
+        # budget gate and closure-length test scalar; only partition
+        # walks with genuinely per-trial values pay the vector forms.
+        budget_floor = int(budgets.min()) if budgets.size else 0
+        uniform_size = bool((self.sizes == size).all())
 
         step = 1
         while True:
             act = np.flatnonzero(live)
             if act.size == 0:
                 return
-            if step > budget:
-                self._fail(act, FAIL_BUDGET)
-                return
+            if step > budget_floor:
+                over = step > budgets[act]
+                if over.any():
+                    self._fail(act[over], FAIL_BUDGET)
+                    act = act[~over]
+                    if act.size == 0:
+                        return
             heads = self.head[act]
             counts = alive_count[heads]
             cornered = counts == 0
@@ -985,33 +1040,30 @@ class BatchWalk:
 
             draws = pool.draw(heads, counts)
             wstart = wp32[heads]
-            if _select_bits is not None:  # pragma: no cover - jit variant
-                offs = _select_bits(bits, wstart.astype(np.int64), draws)
-            else:
-                # Find the word holding the (draws+1)-th live bit of
-                # each head row, then binary-select the bit inside it:
-                # halve the window six times, descending into whichever
-                # half still holds the wanted rank.
-                wdeg = wp32[heads + 1] - wstart
-                wwidth = int(wdeg.max())
-                wmat = bits[wstart[:, None] + cols32[:wwidth]]
-                wmat *= cols32[:wwidth] < wdeg[:, None]
-                pc = np.bitwise_count(wmat)
-                cum = pc.cumsum(axis=1, dtype=np.int32)
-                d32 = draws.astype(np.int32)
-                k = (cum > d32[:, None]).argmax(axis=1)
-                r_ = self._lanes[:heads.size]
-                rank = (d32 - cum[r_, k] + pc[r_, k]).astype(np.uint64)
-                word = wmat[r_, k]
-                pos = np.zeros(heads.size, dtype=np.uint64)
-                for w64, mask in widths:
-                    low = word & mask
-                    c = np.bitwise_count(low).astype(np.uint64)
-                    up = rank >= c
-                    rank -= np.where(up, c, 0)
-                    pos += np.where(up, w64, 0)
-                    word = np.where(up, word >> w64, low)
-                offs = (k.astype(np.int64) << 6) + pos.astype(np.int64)
+            # Find the word holding the (draws+1)-th live bit of
+            # each head row, then binary-select the bit inside it:
+            # halve the window six times, descending into whichever
+            # half still holds the wanted rank.
+            wdeg = wp32[heads + 1] - wstart
+            wwidth = int(wdeg.max())
+            wmat = bits[wstart[:, None] + cols32[:wwidth]]
+            wmat *= cols32[:wwidth] < wdeg[:, None]
+            pc = np.bitwise_count(wmat)
+            cum = pc.cumsum(axis=1, dtype=np.int32)
+            d32 = draws.astype(np.int32)
+            k = (cum > d32[:, None]).argmax(axis=1)
+            r_ = self._lanes[:heads.size]
+            rank = (d32 - cum[r_, k] + pc[r_, k]).astype(np.uint64)
+            word = wmat[r_, k]
+            pos = np.zeros(heads.size, dtype=np.uint64)
+            for w64, mask in widths:
+                low = word & mask
+                c = np.bitwise_count(low).astype(np.uint64)
+                up = rank >= c
+                rank -= np.where(up, c, 0)
+                pos += np.where(up, w64, 0)
+                word = np.where(up, word >> w64, low)
+            offs = (k.astype(np.int64) << 6) + pos.astype(np.int64)
             slots = ip32[heads].astype(np.int64) + offs
             targets = idx_pad[slots].astype(np.int64)
 
@@ -1033,8 +1085,9 @@ class BatchWalk:
             # The tail (path position 0) is never moved by a suffix
             # reversal, so the serial ``tpos == 0`` closure test is an
             # identity check against the start node.
+            want = size if uniform_size else self.sizes[trials]
             is_win = ((targets == self._tail[trials])
-                      & (self.plen[trials] == size))
+                      & (self.plen[trials] == want))
             is_rot = ~(is_ext | is_win)
 
             if is_ext.any():

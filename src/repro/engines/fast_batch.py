@@ -1,23 +1,41 @@
 """The ``fast-batch`` engine: hundreds of trials per kernel pass.
 
-Batched counterparts of :func:`repro.engines.fast._dra_fast` and
-:func:`repro.engines.fast_cre._cre_fast` built on the batch-major
-kernel (:mod:`repro.engines.batchwalk`).  A ``run_batch(graphs,
-seeds=...)`` call executes B independent same-n trials — each with
-its own sampled graph and its own seed — through shared whole-array
-passes, returning one :class:`~repro.engines.results.RunResult` per
-trial that is seed-for-seed identical to what ``engine="fast"`` would
-have produced for that (graph, seed) pair.  The single-graph wrappers
-(``*_one``) make the same code reachable through the ordinary
-:func:`repro.run` path, which is what the registry parity gate
-exercises.
+Batched counterparts of the four fast engines —
+:func:`repro.engines.fast._dra_fast`,
+:func:`repro.engines.fast_cre._cre_fast`,
+:func:`repro.engines.fast_dhc2._dhc2_fast`, and
+:func:`repro.engines.fast_turau._turau_fast` — built on the
+batch-major kernel (:mod:`repro.engines.batchwalk`).  A
+``run_batch(graphs, seeds=...)`` call executes B independent same-n
+trials — each with its own sampled graph and its own seed — through
+shared whole-array passes, returning one
+:class:`~repro.engines.results.RunResult` per trial that is
+seed-for-seed identical to what ``engine="fast"`` would have produced
+for that (graph, seed) pair.  The single-graph wrappers (``*_one``)
+make the same code reachable through the ordinary :func:`repro.run`
+path, which is what the registry parity gate exercises.
+
+DHC2 batches Phase 1 per colour class: one pooled colour draw (each
+node's first stream value, exactly the serial order), one stacked
+colour-filtered CSR shared by every class (classes are edge-disjoint
+within it, so per-class fresh dead-edge masks equal the serial shared
+mask), then one :class:`~repro.engines.batchwalk.BatchWalk` per
+colour over the class members of every still-live trial — per-trial
+``sizes`` / budgets / roots, structural failures recorded at the
+class where serial would have stopped.  Phase 2 is deterministic and
+runs per trial, verbatim from the serial engine.  Turau batches the
+proposal round as one pooled draw over the stacked CSR and runs the
+merge phases in lockstep (same budget for same n), pooling each
+phase's requester draws; the per-trial decision code is the serial
+replay's, so decisions match seed for seed.
 
 Batches are transparently split into memory-bounded chunks (the
 stacked CSR, dead-edge bitmask, and draw buffers scale with the
 batch's total directed edge count), so callers may hand over
 arbitrarily large batches; ``REPRO_BATCH_EDGE_BUDGET`` tunes the
 per-chunk cap.  Chunking never changes results — trials are
-independent.
+independent.  :func:`auto_batch_size` sizes batches from the same
+budget for the ``engine="auto"`` sweep path.
 """
 
 from __future__ import annotations
@@ -40,18 +58,42 @@ from repro.engines.batchwalk import (
     build_batch_tree,
     reverse_path_blocks,
     stack_graph_csrs,
+    stacked_edge_twins,
 )
 from repro.engines.results import RunResult
 from repro.verify.hamiltonicity import CycleViolation, verify_cycle
 
 __all__ = ["_dra_fast_batch", "_cre_fast_batch",
-           "_dra_fast_batch_one", "_cre_fast_batch_one"]
+           "_dhc2_fast_batch", "_turau_fast_batch",
+           "_dra_fast_batch_one", "_cre_fast_batch_one",
+           "_dhc2_fast_batch_one", "_turau_fast_batch_one",
+           "auto_batch_size", "AUTO_BATCH_MIN_TRIALS"]
 
 #: Per-chunk cap on the stacked CSR's directed entry count (int32
 #: indices, twin table, and padded copy put the default around 1 GB
 #: of per-chunk state); env-tunable for small-memory hosts.  Must
 #: stay below 2**31 — the stacked ids and edge offsets are int32.
 _EDGE_BUDGET = int(os.environ.get("REPRO_BATCH_EDGE_BUDGET", 80_000_000))
+
+#: Fewest queued same-point trials before ``engine="auto"`` prefers
+#: ``fast-batch`` over per-trial ``fast`` (below this, batching's
+#: setup cost is not worth amortising; the CLI consults it).
+AUTO_BATCH_MIN_TRIALS = 100
+
+
+def auto_batch_size(n: int, p: float | None = None, *,
+                    cap: int = 1024) -> int:
+    """Largest sensible batch for same-n trials under the edge budget.
+
+    Sizes one harness batch so its stacked chunk (expected directed
+    entries ``n * (n-1) * p`` per trial) fills — but does not exceed —
+    ``REPRO_BATCH_EDGE_BUDGET``; without a known density the complete
+    graph is assumed.  Capped (batches past the cache sweet spot
+    regress; see the E15 batch lane) and floored at 1.
+    """
+    density = 1.0 if p is None else min(1.0, max(0.0, float(p)))
+    per_trial = max(1.0, float(n) * max(1.0, (n - 1) * density))
+    return int(max(1, min(cap, _EDGE_BUDGET / per_trial)))
 
 
 def _chunk_spans(graphs) -> list[tuple[int, int]]:
@@ -371,3 +413,337 @@ def _cre_fast_batch_one(graph, *, seed: int = 0,
                         step_budget: int | None = None) -> RunResult:
     """Registry runner: a batch of one (``repro.run(..., engine="fast-batch")``)."""
     return _cre_fast_batch([graph], seeds=[seed], step_budget=step_budget)[0]
+
+
+# -- DHC2 ------------------------------------------------------------------
+
+
+def _dhc2_fast_batch(graphs, *, seeds, delta: float = 0.5,
+                     k: int | None = None) -> list[RunResult]:
+    """Algorithm 3 over a batch: Phase 1 per colour class, Phase 2 per trial."""
+    graphs = list(graphs)
+    seeds = list(seeds)
+    if not graphs:
+        return []
+    _check_batch(graphs, seeds)
+    results: list[RunResult | None] = [None] * len(graphs)
+    for lo, hi in _chunk_spans(graphs):
+        _dhc2_chunk(graphs[lo:hi], seeds[lo:hi], results, lo, delta, k)
+    return results  # type: ignore[return-value]  # every slot filled
+
+
+def _dhc2_chunk(graphs, seeds, results, offset, delta, k) -> None:
+    from repro.core.dhc2 import default_color_count
+    from repro.engines.arraywalk import filtered_csr
+    from repro.engines.fast_dhc2 import _fail, _phase2
+    from repro.graphs.adjacency import csr_sources
+
+    n = graphs[0].n
+    batch = len(graphs)
+    colors = k if k is not None else default_color_count(n, delta)
+    total = batch * n
+    pool = DrawPool(seeds, n)
+
+    # The colour draw is each node's *first* stream value, consumed in
+    # node id order exactly as the serial colour round does.
+    if total:
+        color_of = 1 + pool.draw(np.arange(total, dtype=np.int64),
+                                 np.full(total, colors, dtype=np.int64))
+    else:
+        color_of = np.zeros(0, dtype=np.int64)
+    indptr, indices = stack_graph_csrs(graphs)
+    src = csr_sources(indptr)
+    # One colour-filtered CSR shared by all classes (as in serial):
+    # classes are edge-disjoint within it, so the fresh dead-edge mask
+    # each class walk starts from equals the serial shared mask.
+    sub_indptr, sub_indices = filtered_csr(
+        indptr, indices, color_of[src] == color_of[indices])
+    twins = stacked_edge_twins(sub_indptr, sub_indices, batch, n)
+    color_mat = color_of.reshape(batch, n)
+    base = np.arange(batch, dtype=np.int64) * n
+
+    elect_budget = diameter_budget(max(3, (2 * n) // max(1, colors)))
+    phase1_start = 1 + elect_budget  # colour round + election deadline
+
+    ok = np.ones(batch, dtype=bool)
+    reasons: list[str | None] = [None] * batch
+    fail_round = np.full(batch, phase1_start, dtype=np.int64)
+    steps = np.zeros(batch, dtype=np.int64)
+    phase1_end = np.full(batch, phase1_start, dtype=np.int64)
+    cycles: list[dict[int, list[int]]] = [{} for _ in range(batch)]
+
+    # Class by class over every still-live trial: a trial that fails
+    # stops consuming draws at exactly the class where its serial run
+    # returned (later classes' streams are disjoint per-node streams,
+    # so skipping them is draw-neutral as well as cheaper).
+    for c in range(1, colors + 1):
+        maskc = color_mat == c
+        cnt = maskc.sum(axis=1).astype(np.int64)
+        empty = ok & (cnt == 0)
+        if empty.any():
+            ok[empty] = False
+            for b in np.flatnonzero(empty).tolist():
+                reasons[b] = "empty-partition"  # fail_round: phase start
+        if not ok.any():
+            break
+        roots = base + maskc.argmax(axis=1)  # min-id member where cnt > 0
+        tree = build_batch_tree(sub_indptr, sub_indices, batch, n, roots,
+                                expect=cnt, live=ok)
+        disc = ok & ~tree.ok
+        if disc.any():
+            ok[disc] = False
+            for b in np.flatnonzero(disc).tolist():
+                reasons[b] = "partition-disconnected"
+        if not ok.any():
+            break
+        done = tree.completion_times(phase1_start)
+        budgets = np.array([dra_step_budget(int(m)) for m in cnt.tolist()],
+                           dtype=np.int64)
+        walk = BatchWalk(
+            indptr=sub_indptr,
+            indices=sub_indices,
+            draws=pool,
+            batch=batch,
+            size=n,
+            sizes=cnt,
+            initial_heads=roots,
+            step_budget=budgets,
+            tree_depths=np.maximum(1, tree.tree_depth),
+            start_rounds=done[roots] + 1,
+            live=ok,
+            twins=twins,
+        )
+        walked = np.flatnonzero(ok)
+        walk.run()
+        # Steps accumulate before the failure check (serial counts the
+        # failing class's walk).
+        np.maximum(steps, walk.steps, out=steps)
+        lost = walked[~walk.success[walked]]
+        if lost.size:
+            ok[lost] = False
+            fail_round[lost] = walk.end_round[lost]
+            for b in lost.tolist():
+                reasons[b] = f"walk-{int(walk.fail_code[b])}"
+        won = walked[walk.success[walked]]
+        if won.size:
+            ecc = tree.eccentricities(walk.flood_initiator[won])
+            phase1_end[won] = np.maximum(phase1_end[won],
+                                         walk.end_round[won] + ecc)
+            for b in won.tolist():
+                cycles[b][c] = walk.cycle(b)
+
+    for b, graph in enumerate(graphs):
+        if ok[b]:
+            results[offset + b] = _phase2(
+                graph, cycles[b], colors, int(phase1_end[b]),
+                int(steps[b]), "fast-batch")
+        else:
+            results[offset + b] = _fail(
+                n, colors, int(fail_round[b]), reasons[b], "fast-batch")
+
+
+def _dhc2_fast_batch_one(graph, *, seed: int = 0, delta: float = 0.5,
+                         k: int | None = None) -> RunResult:
+    """Registry runner: a batch of one (``repro.run(..., engine="fast-batch")``)."""
+    return _dhc2_fast_batch([graph], seeds=[seed], delta=delta, k=k)[0]
+
+
+# -- Turau -----------------------------------------------------------------
+
+
+def _turau_fast_batch(graphs, *, seeds,
+                      phase_budget: int | None = None) -> list[RunResult]:
+    """Turau path merging over a batch; decisions identical to serial."""
+    from repro.core.turau import FAIL_TOO_SMALL
+
+    graphs = list(graphs)
+    seeds = list(seeds)
+    if not graphs:
+        return []
+    n = _check_batch(graphs, seeds)
+    if n < 3:
+        return [RunResult("turau", False, None, 0, engine="fast-batch",
+                          detail={"fail": FAIL_TOO_SMALL, "phases": 0,
+                                  "initial_paths": n})
+                for _ in graphs]
+    results: list[RunResult | None] = [None] * len(graphs)
+    for lo, hi in _chunk_spans(graphs):
+        _turau_chunk(graphs[lo:hi], seeds[lo:hi], results, lo, phase_budget)
+    return results  # type: ignore[return-value]  # every slot filled
+
+
+def _turau_chunk(graphs, seeds, results, offset, phase_budget) -> None:
+    from repro.core.turau import (
+        FAIL_NO_CLOSURE_EDGE,
+        FAIL_PHASE_BUDGET,
+        cycle_from_links,
+        phase_starts,
+        phase_windows,
+        role_bit,
+        turau_phase_budget,
+    )
+    from repro.engines.fast_turau import _LinkState
+    from repro.graphs.adjacency import csr_sources
+    from repro.graphs.properties import eccentricity
+
+    n = graphs[0].n
+    batch = len(graphs)
+    total = batch * n
+    budget = max(1, phase_budget if phase_budget is not None
+                 else turau_phase_budget(n))
+    windows = phase_windows(n, budget)
+    starts = phase_starts(n, budget)
+    pool = DrawPool(seeds, n)
+    indptr, indices = stack_graph_csrs(graphs)
+
+    links = [_LinkState(n) for _ in range(batch)]
+    steps = np.zeros(batch, dtype=np.int64)
+
+    # Proposal round, pooled: each node with higher-id neighbours draws
+    # once from its own stream (per-trial draw order is irrelevant —
+    # streams are per-node), and the min-id acceptance is one global
+    # (target, proposer) sort (block-disjoint ids keep trials apart).
+    src = csr_sources(indptr)
+    higher = indices > src
+    counts = np.bincount(src[higher], minlength=total).astype(np.int64)
+    need = np.flatnonzero(counts > 0)
+    draws = pool.draw(need, counts[need])
+    # Higher-id neighbours are each row's suffix (rows sort ascending).
+    propose_g = indices[indptr[need + 1] - counts[need] + draws].astype(
+        np.int64)
+    order = np.lexsort((need, propose_g))
+    targets = propose_g[order]
+    winners = need[order]
+    first = np.ones(targets.size, dtype=bool)
+    first[1:] = targets[1:] != targets[:-1]
+    for v, w in zip(winners[first].tolist(), targets[first].tolist()):
+        b = v // n
+        links[b].commit(v - b * n, w - b * n)
+        steps[b] += 1
+
+    initial_paths = np.zeros(batch, dtype=np.int64)
+    for b in range(batch):
+        deg0 = links[b].degrees()
+        initial_paths[b] = (int((deg0 == 0).sum())
+                            + int((deg0 == 1).sum()) // 2)
+
+    # Merge phases in lockstep (same budget for same n): per-trial
+    # decision code is the serial replay's, with each phase's
+    # requester draws pooled into one DrawPool call (requesters are
+    # distinct nodes, within a trial and across the batch).
+    phases_used = np.full(batch, budget, dtype=np.int64)
+    fail: list[str | None] = [FAIL_PHASE_BUDGET] * batch
+    closure_at = np.full(batch, -1, dtype=np.int64)
+    flood_source = np.full(batch, -1, dtype=np.int64)
+    active = np.ones(batch, dtype=bool)
+    for ell in range(1, budget + 1):
+        act = np.flatnonzero(active)
+        if act.size == 0:
+            break
+        window = int(windows[ell - 1])
+        req_nodes: list[int] = []
+        req_bounds: list[int] = []
+        req_cands: list[list[int]] = []
+        pending: list[tuple[int, int, list[int]]] = []
+        for b in act.tolist():
+            off = b * n
+            far, plen, deg = links[b].walk_paths()
+            endpoints = np.flatnonzero(deg == 1)
+            fresh = endpoints[plen[endpoints] <= window + 2]
+            spanning = fresh[plen[fresh] == n]
+            if spanning.size:
+                e = int(spanning.min())
+                f = int(far[e])
+                phases_used[b] = ell
+                row = indices[indptr[off + e]:indptr[off + e + 1]]
+                if (row == off + f).any():
+                    links[b].commit(e, f)
+                    steps[b] += 1
+                    fail[b] = None
+                else:
+                    fail[b] = FAIL_NO_CLOSURE_EDGE
+                closure_at[b] = int(starts[ell - 1])
+                flood_source[b] = f if fail[b] is None else e
+                active[b] = False
+                continue
+            participants = np.sort(
+                np.concatenate((np.flatnonzero(deg == 0), fresh)))
+            pid = {int(v): min(int(v), int(far[v])) for v in participants}
+            passive: set[int] = set()
+            requesters: list[int] = []
+            for v in participants:
+                v = int(v)
+                f = int(far[v])
+                r = role_bit(pid[v], ell, n)
+                if f == v:  # singleton: its one end alternates roles
+                    may_request = bool(r)
+                else:
+                    request_end = pid[v] if r else max(v, f)
+                    may_request = v == request_end
+                if may_request:
+                    requesters.append(v)
+                else:
+                    passive.add(v)
+            slot = len(req_nodes)
+            req_as: list[int] = []
+            for a in requesters:  # id order (participants are sorted)
+                row = indices[indptr[off + a]:indptr[off + a + 1]]
+                candidates = [int(w) - off for w in row
+                              if int(w) - off in passive
+                              and pid[int(w) - off] > pid[a]]
+                if candidates:  # sorted: CSR rows are
+                    req_nodes.append(off + a)
+                    req_bounds.append(len(candidates))
+                    req_cands.append(candidates)
+                    req_as.append(a)
+            pending.append((b, slot, req_as))
+        if req_nodes:
+            phase_draws = pool.draw(np.asarray(req_nodes, dtype=np.int64),
+                                    np.asarray(req_bounds, dtype=np.int64))
+        for b, slot, req_as in pending:
+            choice: dict[int, int] = {}
+            for i, a in enumerate(req_as):
+                choice[a] = req_cands[slot + i][int(phase_draws[slot + i])]
+            accepted: dict[int, int] = {}
+            for a, t in choice.items():
+                if t not in accepted or a < accepted[t]:
+                    accepted[t] = a
+            for t, a in sorted(accepted.items()):
+                links[b].commit(a, t)
+                steps[b] += 1
+
+    for b, graph in enumerate(graphs):
+        ok = fail[b] is None
+        cycle = None
+        if ok:
+            cycle = cycle_from_links(
+                [links[b].links_of(v) for v in range(n)])
+            if cycle is None:
+                ok, fail[b] = False, FAIL_PHASE_BUDGET
+            else:
+                try:
+                    verify_cycle(graph, cycle)
+                except CycleViolation:
+                    ok, cycle, fail[b] = False, None, FAIL_PHASE_BUDGET
+        if closure_at[b] >= 0:
+            rounds = int(closure_at[b]) + 1 + eccentricity(
+                graph, int(flood_source[b]))
+        else:
+            rounds = int(starts[-1])
+        results[offset + b] = RunResult(
+            algorithm="turau",
+            success=ok,
+            cycle=cycle,
+            rounds=rounds,
+            steps=int(steps[b]),
+            engine="fast-batch",
+            detail={"fail": fail[b], "phases": int(phases_used[b]),
+                    "initial_paths": int(initial_paths[b])},
+        )
+
+
+def _turau_fast_batch_one(graph, *, seed: int = 0,
+                          phase_budget: int | None = None) -> RunResult:
+    """Registry runner: a batch of one (``repro.run(..., engine="fast-batch")``)."""
+    return _turau_fast_batch([graph], seeds=[seed],
+                             phase_budget=phase_budget)[0]

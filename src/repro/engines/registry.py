@@ -59,7 +59,7 @@ def _builtin_specs() -> list[EngineSpec]:
                    "repro.engines.fast_batch:_dra_fast_batch_one",
                    batch_runner="repro.engines.fast_batch:_dra_fast_batch",
                    supported_kwargs=("step_budget",),
-                   parity=("cycle", "steps", "rounds"),
+                   parity=("cycle", "steps", "rounds"), jit=True,
                    summary="Algorithm 1, hundreds of trials per pass on the "
                            "batch-major kernel"),
         EngineSpec("dra", "kmachine", "repro.engines.kmachine_engine:_dra_kmachine",
@@ -84,6 +84,13 @@ def _builtin_specs() -> list[EngineSpec]:
                    supported_kwargs=("delta", "k"),
                    parity=("cycle", "steps"),
                    summary="Algorithm 3, step-level replay on the array kernel"),
+        EngineSpec("dhc2", "fast-batch",
+                   "repro.engines.fast_batch:_dhc2_fast_batch_one",
+                   batch_runner="repro.engines.fast_batch:_dhc2_fast_batch",
+                   supported_kwargs=("delta", "k"),
+                   parity=("cycle", "steps"), jit=True,
+                   summary="Algorithm 3, Phase 1 batched per colour class on "
+                           "the batch-major kernel"),
         EngineSpec("dhc2", "kmachine", "repro.engines.kmachine_engine:_dhc2_kmachine",
                    supported_kwargs=("delta", "k", *_KMACHINE_COMMON),
                    parity=("cycle", "steps"),
@@ -103,6 +110,13 @@ def _builtin_specs() -> list[EngineSpec]:
                    supported_kwargs=("phase_budget",),
                    parity=("cycle", "steps"),
                    summary="Turau path merging replayed on link arrays"),
+        EngineSpec("turau", "fast-batch",
+                   "repro.engines.fast_batch:_turau_fast_batch_one",
+                   batch_runner="repro.engines.fast_batch:_turau_fast_batch",
+                   supported_kwargs=("phase_budget",),
+                   parity=("cycle", "steps"),
+                   summary="Turau path merging, proposal and merge phases "
+                           "batched in lockstep"),
         EngineSpec("turau", "kmachine", "repro.engines.kmachine_engine:_turau_kmachine",
                    supported_kwargs=("phase_budget", *_KMACHINE_COMMON),
                    parity=("cycle", "steps"),
@@ -120,7 +134,7 @@ def _builtin_specs() -> list[EngineSpec]:
                    "repro.engines.fast_batch:_cre_fast_batch_one",
                    batch_runner="repro.engines.fast_batch:_cre_fast_batch",
                    supported_kwargs=("step_budget",),
-                   parity=("cycle", "steps"),
+                   parity=("cycle", "steps"), jit=True,
                    summary="Alon-Krivelevich CRE solver, batched trials on "
                            "shared position arrays"),
         # -- the paper's centralized algorithms --------------------------------

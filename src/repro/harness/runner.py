@@ -133,23 +133,41 @@ class TrialRunner:
         identical to the unbatched run (``elapsed_s`` aside, which
         the canonical records exclude).
     batch_size:
-        Largest group handed to ``batch_fn`` (default 1 = unbatched).
+        Largest group handed to ``batch_fn`` (default 1 = unbatched),
+        or a callable ``batch_size(point) -> int`` sizing each grid
+        point's groups individually — the auto-batching sweep path
+        passes :func:`repro.engines.fast_batch.auto_batch_size` here
+        so batch caps track each point's expected edge count.
     """
 
     def __init__(self, fn: Callable[[dict, int], Any], *,
                  master_seed: int = 0, store=None, shard=None,
                  batch_fn: Callable[[dict, list[int]], Any] | None = None,
-                 batch_size: int = 1):
+                 batch_size: int | Callable[[dict], int] = 1):
         from repro.harness.sharding import ShardSpec
 
         self.fn = fn
         self.master_seed = master_seed
         self.store = store
         self.shard = ShardSpec.coerce(shard)
-        if int(batch_size) < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if callable(batch_size):
+            self.batch_size: int | Callable[[dict], int] = batch_size
+        else:
+            if int(batch_size) < 1:
+                raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+            self.batch_size = int(batch_size)
         self.batch_fn = batch_fn
-        self.batch_size = int(batch_size)
+
+    def _batching(self) -> bool:
+        """Whether the batched code path is active."""
+        return self.batch_fn is not None and (
+            callable(self.batch_size) or self.batch_size > 1)
+
+    def _batch_cap(self, point: dict) -> int:
+        """This point's group-size cap (callable caps floored at 1)."""
+        if callable(self.batch_size):
+            return max(1, int(self.batch_size(dict(point))))
+        return self.batch_size
 
     def derive_seed(self, point_index: int, trial_index: int) -> int:
         """The deterministic seed for (grid point #, trial #)."""
@@ -191,7 +209,7 @@ class TrialRunner:
         freshly executed alike.
         """
         points = [dict(p) for p in points]
-        if self.batch_fn is not None and self.batch_size > 1:
+        if self._batching():
             return self._run_batched(points, trials, progress)
         out: list[Trial] = []
         for point_index, trial_index, point, existing in self._plan(points, trials):
@@ -251,7 +269,8 @@ class TrialRunner:
                 if progress is not None:
                     progress(existing)
                 continue
-            if buf and (len(buf) >= self.batch_size or buf[0][2] != point):
+            if buf and (len(buf) >= self._batch_cap(buf[0][2])
+                        or buf[0][2] != point):
                 flush()
             buf.append((point_index, trial_index, point))
         flush()
@@ -309,7 +328,7 @@ class ParallelTrialRunner(TrialRunner):
                  jobs: int | None = None, mp_context: str | None = None,
                  chunksize: int | None = None, schedule="ordered",
                  batch_fn: Callable[[dict, list[int]], Any] | None = None,
-                 batch_size: int = 1):
+                 batch_size: int | Callable[[dict], int] = 1):
         from repro.harness.scheduler import resolve_scheduler
 
         super().__init__(fn, master_seed=master_seed, store=store,
@@ -353,10 +372,11 @@ class ParallelTrialRunner(TrialRunner):
                 if existing is not None:
                     progress(existing)
 
-        batching = self.batch_fn is not None and self.batch_size > 1
+        batching = self._batching()
         if batching:
             # Same grouping as the serial batched loop: consecutive
-            # pending slots sharing a point, capped at batch_size.
+            # pending slots sharing a point, capped at the point's
+            # batch size.
             tasks: list = []
             group: list[tuple[int, int, int, dict]] = []
 
@@ -371,7 +391,7 @@ class ParallelTrialRunner(TrialRunner):
                 group.clear()
 
             for ent in pending:
-                if group and (len(group) >= self.batch_size
+                if group and (len(group) >= self._batch_cap(group[0][3])
                               or group[0][3] != ent[3]
                               or ent[0] != group[-1][0] + 1):
                     close()

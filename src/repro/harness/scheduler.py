@@ -58,7 +58,10 @@ __all__ = [
 #: completions can be re-keyed without ambiguity.  A batched runner
 #: instead hands groups ``(slots, point, trial_indices, seeds)`` (the
 #: first element a tuple marks the batch shape); workers run those
-#: through the installed ``batch_fn`` in one engine pass.
+#: through the installed ``batch_fn`` in one engine pass.  Group sizes
+#: are fixed by the runner in the parent process — including when the
+#: cap is a per-point callable — so schedulers and workers only ever
+#: see pre-cut groups and never evaluate the cap themselves.
 Task = tuple[int, dict, int, int]
 BatchTask = tuple[tuple, dict, tuple, tuple]
 

@@ -54,6 +54,25 @@ class TestCompare:
         leaves = numeric_leaves({"a": {"b": [1, {"c": 2.5}]}, "ok": True})
         assert leaves == {"a.b.0": 1.0, "a.b.1.c": 2.5}  # bools excluded
 
+    def test_all_numeric_lists_collapse_to_median(self):
+        # Repeated samples of one measurement -> one noise-damped leaf.
+        leaves = numeric_leaves({"rate_per_sec": [100.0, 90.0, 800.0]})
+        assert leaves == {"rate_per_sec": 100.0}
+        # Singletons and mixed lists keep element-wise paths.
+        assert numeric_leaves({"x": [7]}) == {"x.0": 7.0}
+        assert numeric_leaves({"x": [7, None, 9]}) == {"x.0": 7.0, "x.2": 9.0}
+
+    def test_median_damps_single_outlier_sample(self):
+        base = {"shared": {"t_per_sec": [100.0, 101.0, 99.0]}}
+        # One garbage repeat (CI hiccup) must not trip the check ...
+        fresh = {"shared": {"t_per_sec": [100.0, 2.0, 99.0]}}
+        problems, compared, _ = compare(fresh, base, 0.5, 0.25)
+        assert problems == [] and compared == 1
+        # ... but a consistently slow fresh run still does.
+        slow = {"shared": {"t_per_sec": [10.0, 11.0, 9.0]}}
+        problems, _, _ = compare(slow, base, 0.5, 0.25)
+        assert len(problems) == 1 and "rate regression" in problems[0]
+
 
 class TestMain:
     def test_exit_codes(self, tmp_path):

@@ -243,6 +243,22 @@ class TestEnginesCommand:
         code, out, _ = run_cli(capsys, "engines")
         assert "turau" in out and "cre" in out
 
+    def test_engines_listing_shows_batch_and_jit_capabilities(self, capsys):
+        code, out, _ = run_cli(capsys, "engines", "--json")
+        specs = {(s["algorithm"], s["engine"]): s for s in json.loads(out)}
+        for algorithm in ("dra", "cre", "dhc2", "turau"):
+            assert specs[(algorithm, "fast-batch")]["batched"] is True
+            assert specs[(algorithm, "fast")]["batched"] is False
+        # jit marks batch entries that dispatch through the compiled
+        # kernels; Turau's batch path is pure decision replay.
+        assert specs[("dra", "fast-batch")]["jit"] is True
+        assert specs[("dhc2", "fast-batch")]["jit"] is True
+        assert specs[("turau", "fast-batch")]["jit"] is False
+        assert specs[("dra", "fast")]["jit"] is False
+        code, out, _ = run_cli(capsys, "engines")
+        header = out.splitlines()[1]
+        assert "batched" in header and "jit" in header
+
 
 class TestMergeCommand:
     def _sweep_into(self, capsys, tmp_path, name):
@@ -356,6 +372,66 @@ class TestSweepCommand:
 
         assert canonical(tmp_path / "solo.jsonl") \
             == canonical(tmp_path / "batched.jsonl")
+
+    def test_sweep_auto_selects_fast_batch_for_large_queues(
+            self, capsys, monkeypatch):
+        # engine=auto + many same-point trials -> the batch kernel,
+        # no flag needed (threshold lowered so the test stays fast).
+        monkeypatch.setattr("repro.cli.AUTO_BATCH_MIN_TRIALS", 4)
+        code, out, _ = run_cli(
+            capsys, "sweep", "--algorithm", "dra",
+            "--sizes", "24,32", "--trials", "4", "--c", "8",
+            "--delta", "1.0", "--seed", "5", "--json")
+        assert code == 0
+        assert json.loads(out)["engine"] == "fast-batch"
+        # Below the threshold auto stays on per-trial fast.
+        code, out, _ = run_cli(
+            capsys, "sweep", "--algorithm", "dra",
+            "--sizes", "24,32", "--trials", "3", "--c", "8",
+            "--delta", "1.0", "--seed", "5", "--json")
+        assert code == 0
+        assert json.loads(out)["engine"] == "fast"
+        # An explicit --batch-size 1 opts out of auto-selection.
+        code, out, _ = run_cli(
+            capsys, "sweep", "--algorithm", "dra",
+            "--sizes", "24,32", "--trials", "4", "--c", "8",
+            "--delta", "1.0", "--seed", "5", "--batch-size", "1", "--json")
+        assert code == 0
+        assert json.loads(out)["engine"] == "fast"
+        # Algorithms with no fast-batch entry are left on auto's pick.
+        code, out, _ = run_cli(
+            capsys, "sweep", "--algorithm", "posa",
+            "--sizes", "24,32", "--trials", "4", "--c", "8",
+            "--delta", "1.0", "--seed", "5", "--json")
+        assert code == 0
+        assert json.loads(out)["engine"] == "sequential"
+
+    def test_sweep_auto_batched_records_match_fast(self, capsys,
+                                                   monkeypatch, tmp_path):
+        # Auto-batching must be invisible in the store: same seeds,
+        # same records as an explicit per-trial fast sweep.
+        base = ("sweep", "--algorithm", "dra", "--sizes", "24,32",
+                "--trials", "5", "--c", "8", "--delta", "1.0",
+                "--seed", "5", "--json")
+        code, _, _ = run_cli(capsys, *base, "--engine", "fast",
+                             "--store", str(tmp_path / "fast.jsonl"))
+        assert code == 0
+        monkeypatch.setattr("repro.cli.AUTO_BATCH_MIN_TRIALS", 5)
+        code, out, _ = run_cli(capsys, *base, "--store",
+                               str(tmp_path / "auto.jsonl"))
+        assert code == 0
+        assert json.loads(out)["engine"] == "fast-batch"
+
+        def canonical(path):
+            records = []
+            for line in path.open():
+                record = json.loads(line)
+                record.pop("elapsed_s", None)
+                records.append(record)
+            return records
+
+        assert canonical(tmp_path / "fast.jsonl") \
+            == canonical(tmp_path / "auto.jsonl")
 
     def test_sweep_sequential_algorithm_skips_power_law(self, capsys):
         # Sequential engines report rounds=0; the sweep must still

@@ -458,7 +458,40 @@ class TestFastBatchParity:
             # The density mix must actually exercise both paths.
             assert outcomes == {True, False}
 
-    @pytest.mark.parametrize("algorithm", ["dra", "cre"])
+    @pytest.mark.parametrize("n", [16, 96])
+    def test_dhc2_mixed_outcome_batch(self, n):
+        # Factor 30 caps p at 1.0 -> dense successes; the sparse end
+        # exercises empty / disconnected partitions and walk failures.
+        graphs, seeds = self._mixed_batch(n, 9, factors=(1.0, 8.0, 30.0))
+        outcomes = self.assert_batch_parity(
+            "dhc2", graphs, seeds, f"dhc2 n={n}")
+        if n == 96:
+            assert outcomes == {True, False}
+
+    @pytest.mark.parametrize("n", [16, 96])
+    def test_turau_mixed_outcome_batch(self, n):
+        graphs, seeds = self._mixed_batch(n, 9, factors=(2.0, 8.0, 14.0))
+        outcomes = self.assert_batch_parity(
+            "turau", graphs, seeds, f"turau n={n}")
+        if n == 96:
+            assert outcomes == {True, False}
+
+    def test_dhc2_explicit_k_batch(self):
+        # k > what default_color_count picks forces tiny colour
+        # classes: empty partitions and sub-3-node class walks.
+        graphs, seeds = self._mixed_batch(12, 6, factors=(3.0,))
+        self.assert_batch_parity("dhc2", graphs, seeds, "dhc2 k=5", k=5)
+
+    def test_turau_phase_budget_batch(self):
+        self.assert_batch_parity(
+            "turau", *self._mixed_batch(48, 4, factors=(10.0,)),
+            "turau budget", phase_budget=2)
+
+    def test_turau_too_small_batch(self):
+        graphs = [sample("gnp", 2, 1.0, seed=5), sample("gnp", 2, 1.0, seed=6)]
+        self.assert_batch_parity("turau", graphs, [3, 4], "turau n=2")
+
+    @pytest.mark.parametrize("algorithm", ["dra", "cre", "dhc2", "turau"])
     def test_single_trial_batch(self, algorithm):
         graphs, seeds = self._mixed_batch(64, 1, factors=(8.0,))
         self.assert_batch_parity(algorithm, graphs, seeds,

@@ -244,11 +244,11 @@ class TestBatchedRunner:
     """Batched dispatch (``batch_fn``) must not change what is computed."""
 
     @staticmethod
-    def _fns():
+    def _fns(algorithm="dra"):
         from repro.engines.registry import REGISTRY
         from repro.graphs import gnp_random_graph, paper_probability
 
-        spec = REGISTRY.resolve("dra", "fast-batch")
+        spec = REGISTRY.resolve(algorithm, "fast-batch")
 
         def sample(point, seed):
             p = paper_probability(point["n"], 1.0, point["c"])
@@ -263,8 +263,9 @@ class TestBatchedRunner:
 
         return trial, batch
 
-    def test_batched_store_is_byte_identical(self, tmp_path):
-        trial, batch = self._fns()
+    @pytest.mark.parametrize("algorithm", ["dra", "dhc2", "turau"])
+    def test_batched_store_is_byte_identical(self, tmp_path, algorithm):
+        trial, batch = self._fns(algorithm)
         grid = ParameterGrid(n=[24, 32], c=[8.0])
         solo = TrialStore(tmp_path / "solo.jsonl")
         TrialRunner(trial, master_seed=11, store=solo).run(grid, trials=5)
@@ -276,8 +277,10 @@ class TestBatchedRunner:
         # Results surface in schedule order with real per-trial metadata.
         assert [t.trial_index for t in got] == [0, 1, 2, 3, 4] * 2
 
-    def test_parallel_batched_matches_serial_batched(self, tmp_path):
-        trial, batch = self._fns()
+    @pytest.mark.parametrize("algorithm", ["dra", "dhc2", "turau"])
+    def test_parallel_batched_matches_serial_batched(self, tmp_path,
+                                                     algorithm):
+        trial, batch = self._fns(algorithm)
         from repro.harness import ParallelTrialRunner
 
         grid = ParameterGrid(n=[24, 32], c=[8.0])
@@ -289,6 +292,56 @@ class TestBatchedRunner:
                             batch_fn=batch, batch_size=3).run(grid, trials=4)
         assert [t.canonical_json() for t in serial.load()] \
             == [t.canonical_json() for t in par.load()]
+
+    @pytest.mark.parametrize("algorithm", ["dhc2", "turau"])
+    def test_batched_resume_is_byte_identical(self, tmp_path, algorithm):
+        # A batched rerun over a half-filled store must append exactly
+        # the records the unbatched serial run would have written.
+        trial, batch = self._fns(algorithm)
+        grid = ParameterGrid(n=[24], c=[8.0])
+        solo = TrialStore(tmp_path / "solo.jsonl")
+        TrialRunner(trial, master_seed=11, store=solo).run(grid, trials=6)
+        resumed = TrialStore(tmp_path / "resumed.jsonl")
+        TrialRunner(trial, master_seed=11, store=resumed).run(grid, trials=2)
+        TrialRunner(trial, master_seed=11, store=resumed,
+                    batch_fn=batch, batch_size=4).run(grid, trials=6)
+        assert [t.canonical_json() for t in solo.load()] \
+            == [t.canonical_json() for t in resumed.load()]
+
+    def test_callable_batch_size_caps_per_point(self, tmp_path):
+        # batch_size(point) sizes each grid point's groups on its own
+        # (the auto-batching sweep path); records stay byte-identical.
+        trial, batch = self._fns()
+        grid = ParameterGrid(n=[24, 32], c=[8.0])
+        calls = []
+
+        def counting_batch(point, seeds):
+            calls.append((point["n"], len(seeds)))
+            return batch(point, seeds)
+
+        solo = TrialStore(tmp_path / "solo.jsonl")
+        TrialRunner(trial, master_seed=11, store=solo).run(grid, trials=4)
+        sized = TrialStore(tmp_path / "sized.jsonl")
+        TrialRunner(trial, master_seed=11, store=sized,
+                    batch_fn=counting_batch,
+                    batch_size=lambda point: 3 if point["n"] == 24 else 2
+                    ).run(grid, trials=4)
+        assert calls == [(24, 3), (24, 1), (32, 2), (32, 2)]
+        assert [t.canonical_json() for t in solo.load()] \
+            == [t.canonical_json() for t in sized.load()]
+
+    def test_callable_batch_size_parallel_grouping(self):
+        from repro.harness import ParallelTrialRunner
+
+        trial, batch = self._fns()
+        got = ParallelTrialRunner(
+            trial, master_seed=11, jobs=2, batch_fn=batch,
+            batch_size=lambda point: max(1, point["n"] // 16)).run(
+            ParameterGrid(n=[16, 48], c=[8.0]), trials=3)
+        want = TrialRunner(trial, master_seed=11).run(
+            ParameterGrid(n=[16, 48], c=[8.0]), trials=3)
+        assert [t.canonical_json() for t in got] \
+            == [t.canonical_json() for t in want]
 
     def test_batched_resume_skips_completed(self, tmp_path):
         trial, batch = self._fns()
