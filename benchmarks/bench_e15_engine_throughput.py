@@ -37,6 +37,21 @@ numba the jitted column records ``null`` rather than timing the
 uncompiled ``*_impl`` loops as if they were compiled — the committed
 curve never claims a speedup the host could not measure.
 
+Two further lanes profile the headline point (largest size, largest
+batch):
+
+* ``thread_scaling`` — the jitted pass re-run at 1/2/4 kernel threads
+  via :func:`repro.engines._jit.configure_threads` (1 = the serial
+  njit kernels, the honest one-thread execution), each with a *paired*
+  ``fast`` reference measured adjacent to it.  Lanes the host cannot
+  run (no numba, or the thread count exceeds numba's launched pool)
+  record explicit ``null`` — never a guessed ratio.
+* ``setup_profile`` — the generation+stacking share of one numpy-path
+  batch pass (``setup_fraction``), measured for per-trial
+  ``gnp_random_graph`` + serial stacking and for the pooled
+  :func:`repro.graphs.batch_gnp` path that emits the stacked CSR and
+  twin table directly.
+
 Points skipped by those caps are reported in the table (no silent
 truncation) and recorded as ``null`` in the JSON.
 
@@ -153,6 +168,61 @@ def _batch_throughput(n: int, batch: int, *, jit: bool = False) -> float:
     return rounds * batch / elapsed
 
 
+def _setup_profile(n: int, batch: int) -> dict:
+    """Generation+stacking share of one numpy-path batch pass, both ways.
+
+    ``setup`` is everything before the kernel proper can start: graph
+    sampling plus the stacked CSR + twin-table build.  The per-trial
+    column measures ``gnp_random_graph`` per seed plus the serial
+    ``stack_graph_csrs``/``stacked_edge_twins`` pair; the batched
+    column measures ``batch_gnp`` + ``GnpBatch.stacked()`` (one pooled
+    build, cached for the subsequent engine pass).  Totals are honest
+    end-to-end windows for each path, so the two ``setup_fraction``
+    values are directly comparable.
+    """
+    from repro.engines.batchwalk import stack_graph_csrs, stacked_edge_twins
+    from repro.graphs import batch_gnp
+
+    p = min(1.0, C * math.log(n) / n)
+    seeds = list(range(batch))
+    spec = REGISTRY.resolve("dra", "fast-batch")
+    profile: dict = {"point": f"n={n},batch={batch}"}
+    with _numpy_kernels():
+        spec.call_batch([_graph("dra", 64, seed=99)], seeds=[99])  # warm up
+        batch_gnp(64, 0.2, [99]).stacked()  # absorb the one-time self-check
+        start = time.perf_counter()
+        graphs = [gnp_random_graph(n, p, seed=s) for s in seeds]
+        gen_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        indptr, indices = stack_graph_csrs(graphs)
+        stacked_edge_twins(indptr, indices, batch, n)
+        stack_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        spec.call_batch(graphs, seeds=seeds)  # restacks internally
+        run_seconds = time.perf_counter() - start
+        setup = gen_seconds + stack_seconds
+        total = gen_seconds + run_seconds
+        profile["per_trial"] = {
+            "setup_seconds": round(setup, 5),
+            "total_seconds": round(total, 5),
+            "setup_fraction": round(setup / total, 4),
+        }
+        start = time.perf_counter()
+        gbatch = batch_gnp(n, p, seeds)
+        gbatch.stacked()
+        setup = time.perf_counter() - start
+        start = time.perf_counter()
+        spec.call_batch(gbatch, seeds=seeds)  # stacked() is cached
+        run_seconds = time.perf_counter() - start
+        total = setup + run_seconds
+        profile["batched_gen"] = {
+            "setup_seconds": round(setup, 5),
+            "total_seconds": round(total, 5),
+            "setup_fraction": round(setup / total, 4),
+        }
+    return profile
+
+
 def test_e15_engine_throughput(benchmark):
     series: dict[str, dict[str, dict[str, float | None]]] = {}
     rows = []
@@ -224,6 +294,53 @@ def test_e15_engine_throughput(benchmark):
     }
     print(f"jit vs numpy fast-batch speedups: {jit_speedups}")
 
+    # Thread-scaling lane: the headline jitted pass at 1/2/4 kernel
+    # threads, each paired with a fast reference measured adjacent to
+    # it (same CPU state on both sides of the ratio).  configure_threads
+    # reports whether the host can actually run a lane; refusals record
+    # explicit nulls.
+    head_n, head_batch = max(SIZES), max(BATCH_SIZES)
+    saved_threads = _jit.THREADS if _jit.THREADED else 0
+    thread_scaling: dict[str, dict[str, float | None]] = {}
+    thread_rows = []
+    for t in (1, 2, 4):
+        configured = _jit.ENABLED and _jit.configure_threads(
+            0 if t == 1 else t)
+        if configured:
+            ref = _throughput("dra", "fast", head_n)
+            tps = _batch_throughput(head_n, head_batch, jit=True)
+            speedup = round(tps / ref, 2)
+        else:
+            ref = tps = speedup = None
+        thread_scaling[str(t)] = {
+            "batch_jit_trials_per_sec": tps,
+            "fast_ref_trials_per_sec": ref,
+            "speedup_vs_fast": speedup,
+        }
+        thread_rows.append((t,
+                            "skipped (no threaded kernel)" if tps is None
+                            else round(tps, 3),
+                            "-" if ref is None else round(ref, 3),
+                            "-" if speedup is None else speedup))
+    if _jit.ENABLED:
+        _jit.configure_threads(saved_threads)
+    show(f"E15: thread scaling (dra, fast-batch, n={head_n}, "
+         f"batch={head_batch})",
+         ["threads", "trials/sec", "paired fast ref", "vs fast"],
+         thread_rows)
+
+    # Setup lane: how much of a numpy-path batch pass is generation +
+    # stacking, per-trial vs pooled batched generation.
+    setup_profile = _setup_profile(head_n, head_batch)
+    show(f"E15: setup share (dra, fast-batch numpy path, n={head_n}, "
+         f"batch={head_batch})",
+         ["generation", "setup s", "total s", "setup fraction"],
+         [(mode,
+           setup_profile[mode]["setup_seconds"],
+           setup_profile[mode]["total_seconds"],
+           setup_profile[mode]["setup_fraction"])
+          for mode in ("per_trial", "batched_gen")])
+
     speedups = {}
     for algorithm, by_engine in series.items():
         speedups[algorithm] = {}
@@ -257,6 +374,10 @@ def test_e15_engine_throughput(benchmark):
             best_jit = max(v for b, v in jit_speedups[str(max(SIZES))]
                            .items() if v is not None and int(b) >= 32)
             assert best_jit >= 1.0, jit_speedups
+        # Batched generation must measurably cut the setup share of
+        # the numpy batch path — the whole point of batch_gnp.
+        assert (setup_profile["batched_gen"]["setup_fraction"]
+                < setup_profile["per_trial"]["setup_fraction"]), setup_profile
 
     payload = {
         "experiment": "e15_engine_throughput",
@@ -271,8 +392,31 @@ def test_e15_engine_throughput(benchmark):
         "batch_fast_ref_trials_per_sec": batch_fast_ref,
         "speedup_fast_batch_vs_fast": batch_speedups,
         "jit_enabled": _jit.ENABLED,
+        "jit_threads": _jit.THREADS if _jit.THREADED else 0,
         "batch_jit_trials_per_sec": jit_series,
         "speedup_jit_vs_numpy_batch": jit_speedups,
+        "thread_scaling": thread_scaling,
+        "threads_note": (
+            "thread_scaling columns re-run the headline jitted pass "
+            "(largest size, largest batch) at 1/2/4 kernel threads via "
+            "configure_threads; threads=1 is the serial njit kernel. "
+            "null means the lane could not run on this host — no "
+            "numba, or the thread count exceeds the pool numba "
+            "launched with — never an extrapolated number. Each lane "
+            "pairs with its own adjacent fast reference so sustained-"
+            "load CPU throttling cancels out of the ratio. check_bench "
+            "compares these columns thread-count-keyed, so fresh and "
+            "baseline values are always like-threaded."),
+        "setup_profile": setup_profile,
+        "setup_note": (
+            "setup_profile measures the generation+stacking share of "
+            "one numpy-path fast-batch pass at the headline point. "
+            "per_trial = gnp_random_graph per seed + serial "
+            "stack_graph_csrs/stacked_edge_twins; batched_gen = "
+            "batch_gnp + GnpBatch.stacked() (one pooled keyed-unique "
+            "sample, one global lexsort, twins read off the sort "
+            "permutation). The full-sweep gate asserts batched_gen's "
+            "setup_fraction is strictly below per_trial's."),
         "jit_note": (
             "batch_jit_* columns time the fused numba kernels "
             "(REPRO_JIT=1); null means this host has no numba and the "

@@ -20,10 +20,20 @@ lists still flatten element-wise (``path.0``, ``path.1``, ...):
   lower is worse; a regression is ``fresh < baseline * (1 - tolerance)``.
   The band is wide by default because smoke timings on shared CI
   runners are noisy — this is an advisory tripwire, not a perf gate.
+* **cost-like** leaves (key contains ``seconds`` or ``setup_fraction``):
+  higher is worse; a regression is ``fresh > baseline * (1 + tolerance)``.
 * **count-like** leaves (rounds, words, sizes — everything else):
   deterministic given the seed tree, so any relative drift beyond
   ``--drift`` means the *behaviour* changed, which is exactly what a
   committed ``BENCH_*.json`` exists to catch.
+
+Kernel threading makes timings incomparable across configurations, so
+the check compares like-threaded columns only: when the two payloads
+record different ``jit_threads`` values, every rate- and cost-like
+leaf is skipped **except** those under ``thread_scaling.`` — that
+section keys its columns by explicit thread count, so shared paths
+there are like-threaded by construction.  Count-like leaves always
+compare (threading never changes behaviour, only speed).
 
 Exit status: 0 when everything in-band, 2 on any regression/drift,
 1 on unusable inputs.  CI wires this into the perf-smoke steps with
@@ -41,12 +51,17 @@ from pathlib import Path
 
 RATE_MARKERS = ("per_sec", "speedup")
 
+#: Inverse-rate leaves: wall-clock costs and setup shares, where a
+#: *higher* fresh value is the regression.
+COST_MARKERS = ("seconds", "setup_fraction")
+
 #: Top-level payload keys that describe the run's *configuration*
 #: (size grids, seeds, density constants).  A smoke run legitimately
 #: overrides these, so they carry no regression signal.
 CONFIG_KEYS = frozenset({
     "sizes", "native_sizes", "ks", "seed", "c", "delta", "trials",
     "shared_n", "congest_max", "dhc2_max", "batch_sizes",
+    "jit_threads", "threads",
 })
 
 
@@ -85,14 +100,33 @@ def compare(fresh: dict, baseline: dict, tolerance: float,
                    if p.split(".", 1)[0] not in CONFIG_KEYS}
     shared = sorted(set(fresh_leaves) & set(base_leaves))
     skipped = len(set(fresh_leaves) ^ set(base_leaves))
+    like_threaded = (isinstance(fresh, dict) and isinstance(baseline, dict)
+                     and fresh.get("jit_threads") == baseline.get("jit_threads"))
     problems = []
+    compared = 0
     for path in shared:
         new, old = fresh_leaves[path], base_leaves[path]
-        if any(marker in path for marker in RATE_MARKERS):
+        is_rate = any(marker in path for marker in RATE_MARKERS)
+        is_cost = not is_rate and any(m in path for m in COST_MARKERS)
+        if ((is_rate or is_cost) and not like_threaded
+                and not path.startswith("thread_scaling.")):
+            # Threaded vs serial timings carry no regression signal;
+            # thread_scaling columns are keyed by thread count and
+            # stay comparable.
+            skipped += 1
+            continue
+        compared += 1
+        if is_rate:
             floor = old * (1.0 - tolerance)
             if new < floor:
                 problems.append(
                     f"rate regression at {path}: {new:g} < {floor:g} "
+                    f"(baseline {old:g}, tolerance {tolerance:.0%})")
+        elif is_cost:
+            ceiling = old * (1.0 + tolerance)
+            if new > ceiling:
+                problems.append(
+                    f"cost regression at {path}: {new:g} > {ceiling:g} "
                     f"(baseline {old:g}, tolerance {tolerance:.0%})")
         elif old != 0 and abs(new - old) / abs(old) > drift:
             problems.append(
@@ -100,7 +134,7 @@ def compare(fresh: dict, baseline: dict, tolerance: float,
                 f"(> {drift:.0%})")
         elif old == 0 and new != 0:
             problems.append(f"count drift at {path}: {new:g} vs baseline 0")
-    return problems, len(shared), skipped
+    return problems, compared, skipped
 
 
 def main(argv: list[str] | None = None) -> int:

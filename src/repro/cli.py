@@ -72,9 +72,11 @@ from repro.analysis.bounds import (
     predicted_upcast_rounds,
 )
 from repro.analysis.concentration import merge_step_failure, partition_size_failure
+from repro.engines import _jit
 from repro.engines.fast_batch import AUTO_BATCH_MIN_TRIALS, auto_batch_size
 from repro.engines.registry import REGISTRY
 from repro.graphs import (
+    batch_gnp,
     degree_statistics,
     diameter,
     diameter_lower_bound,
@@ -188,7 +190,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "sweeps")
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1 = serial; seeds and "
-                              "records are identical either way)")
+                              "records are identical either way).  With a "
+                              "threaded batch kernel active (REPRO_JIT=1 "
+                              "REPRO_JIT_THREADS=N) auto-batching wins: "
+                              "--jobs is demoted to 1 rather than "
+                              "oversubscribing cores, and combining --jobs "
+                              "with an explicit --batch-size > 1 is an "
+                              "error")
     sweep_p.add_argument("--batch-size", type=int, default=None,
                          help="trials per engine pass for batched engines "
                               "(e.g. --engine fast-batch); 1 = per-trial "
@@ -198,7 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
                               f"and >= {AUTO_BATCH_MIN_TRIALS} trials the "
                               "sweep auto-selects fast-batch where "
                               "registered, sizing batches per point from "
-                              "REPRO_BATCH_EDGE_BUDGET; otherwise 1")
+                              "REPRO_BATCH_EDGE_BUDGET; otherwise 1.  Set "
+                              "REPRO_JIT_THREADS=N (with REPRO_JIT=1 and "
+                              "numba) to run each batch pass on N cores")
     sweep_p.add_argument("--chunksize", type=int, default=None,
                          help="trials per worker IPC message (with --jobs; "
                               "default auto-sizes from the sweep, 1 = "
@@ -441,8 +451,16 @@ class _SweepTrialBatch:
         self.extra = dict(extra or {})
 
     def __call__(self, point: dict, seeds: list[int]):
-        graphs = [_sample_graph(self.model, point["n"], self.delta, self.c,
-                                seed)[0] for seed in seeds]
+        n = int(point["n"])
+        if self.model == "gnp":
+            # Zero-copy batch setup: the pooled generator emits the
+            # stacked CSR + twin table the kernel consumes directly,
+            # seed-for-seed identical to per-trial sampling.
+            graphs = batch_gnp(n, paper_probability(n, self.delta, self.c),
+                               seeds)
+        else:
+            graphs = [_sample_graph(self.model, n, self.delta, self.c,
+                                    seed)[0] for seed in seeds]
         spec = REGISTRY.resolve(self.algorithm, self.engine)
         kwargs = spec.filter_kwargs({"delta": self.delta, **self.extra})
         return spec.call_batch(graphs, seeds=list(seeds), **kwargs)
@@ -480,6 +498,32 @@ def _cmd_sweep(args) -> int:
               f"fast-batch)", file=sys.stderr)
         batch_size = 1
 
+    # Parallelism composition rule (documented in ARCHITECTURE.md):
+    # batch passes and process fan-out both want the cores.  When the
+    # threaded fused kernel is active for this engine, one kernel pass
+    # already uses every requested core, so auto-batching wins and
+    # --jobs is demoted; asking for both *explicitly* (--jobs with
+    # --batch-size > 1) is a conflict, not a preference, and errors
+    # out.  Without kernel threads the two compose fine: batches are
+    # split across the workers.
+    jobs = args.jobs
+    threaded = _jit.THREADED and spec.threads
+    if jobs > 1 and threaded:
+        if args.batch_size is not None and args.batch_size > 1 and spec.batched:
+            print(f"--jobs {jobs} with --batch-size {args.batch_size} "
+                  f"conflicts with the threaded batch kernel "
+                  f"(REPRO_JIT_THREADS={_jit.THREADS}): each batch pass "
+                  f"already runs on {_jit.THREADS} threads, so process "
+                  f"fan-out would oversubscribe every core; drop --jobs "
+                  f"or set REPRO_JIT_THREADS=0", file=sys.stderr)
+            return 2
+        if isinstance(batch_size, _AutoBatchSize):
+            print(f"auto-batching with the threaded batch kernel "
+                  f"(REPRO_JIT_THREADS={_jit.THREADS}) already uses "
+                  f"{_jit.THREADS} threads per pass; demoting --jobs "
+                  f"{jobs} to 1", file=sys.stderr)
+            jobs = 1
+
     shard = ShardSpec.parse(args.shard) if args.shard else None
 
     store = None
@@ -500,14 +544,14 @@ def _cmd_sweep(args) -> int:
              if value is not None}
     trial_fn = _SweepTrial(algorithm, engine, args.delta, args.c, args.model,
                            extra)
-    runner_cls = ParallelTrialRunner if args.jobs > 1 else TrialRunner
+    runner_cls = ParallelTrialRunner if jobs > 1 else TrialRunner
     runner_kwargs = {"master_seed": args.seed, "store": store, "shard": shard}
     if callable(batch_size) or batch_size > 1:
         runner_kwargs["batch_fn"] = _SweepTrialBatch(
             algorithm, engine, args.delta, args.c, args.model, extra)
         runner_kwargs["batch_size"] = batch_size
-    if args.jobs > 1:
-        runner_kwargs["jobs"] = args.jobs
+    if jobs > 1:
+        runner_kwargs["jobs"] = jobs
         runner_kwargs["chunksize"] = args.chunksize
         runner_kwargs["schedule"] = args.schedule
     runner = runner_cls(trial_fn, **runner_kwargs)
@@ -539,7 +583,7 @@ def _cmd_sweep(args) -> int:
         payload = {
             "algorithm": algorithm,
             "engine": resolved_engine,
-            "jobs": args.jobs,
+            "jobs": jobs,
             "rows": rows,
             "fitted_exponent": exponent,
         }
@@ -614,6 +658,7 @@ def _cmd_engines(args) -> int:
             "audits_memory": s.audits_memory,
             "batched": s.batched,
             "jit": s.jit,
+            "threads": s.threads,
             "parity": sorted(s.parity),
             "summary": s.summary,
         } for s in specs], indent=2))
@@ -623,12 +668,13 @@ def _cmd_engines(args) -> int:
                  "yes" if s.audits_memory else "-",
                  "yes" if s.batched else "-",
                  "yes" if s.jit else "-",
+                 "yes" if s.threads else "-",
                  ",".join(sorted(s.supported_kwargs)) or "-",
                  s.summary]
                 for s in specs]
         print(render_table(
             ["algorithm", "engine", "k-machine", "audit", "batched", "jit",
-             "kwargs", "summary"],
+             "threads", "kwargs", "summary"],
             rows, title="registered (algorithm, engine) pairs"))
     return 0
 

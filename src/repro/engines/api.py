@@ -107,6 +107,13 @@ class EngineSpec:
         kernels in :mod:`repro.engines._jit` under ``REPRO_JIT=1``
         (results stay bitwise identical to the numpy path either way;
         purely informational — ``repro engines`` lists it).
+    threads:
+        True when the runner's compiled kernels have prange-over-lanes
+        variants that ``REPRO_JIT_THREADS=N`` runs on N cores (implies
+        ``jit``; results stay bitwise identical — see the threading
+        section of :mod:`repro.engines._jit`).  The CLI's sweep
+        parallelism rule consults it: an active threaded kernel makes
+        auto-batching beat process fan-out.
     priority:
         ``engine="auto"`` preference (higher wins); defaults to
         :data:`ENGINE_PRIORITY` for the standard engine names.
@@ -123,6 +130,7 @@ class EngineSpec:
     audits_memory: bool = False
     parity: frozenset[str] = frozenset()
     jit: bool = False
+    threads: bool = False
     priority: int = field(default=-1)
     summary: str = ""
 

@@ -36,6 +36,15 @@ arbitrarily large batches; ``REPRO_BATCH_EDGE_BUDGET`` tunes the
 per-chunk cap.  Chunking never changes results — trials are
 independent.  :func:`auto_batch_size` sizes batches from the same
 budget for the ``engine="auto"`` sweep path.
+
+``graphs`` may be a list of :class:`~repro.graphs.adjacency.Graph` or
+a :class:`~repro.graphs.batch_gnp.GnpBatch`.  A ``GnpBatch`` is the
+zero-copy path the sweep harness ships: the stacked CSR and twin
+table come straight from the pooled generator (no per-graph CSR
+builds, no stacking copy, no twin argsort), chunking slices the
+shared pair arrays without copying, and per-trial ``Graph`` objects
+are materialised lazily — only for the result tails that genuinely
+need one (cycle verification, DHC2 Phase 2, Turau eccentricity).
 """
 
 from __future__ import annotations
@@ -61,6 +70,7 @@ from repro.engines.batchwalk import (
     stacked_edge_twins,
 )
 from repro.engines.results import RunResult
+from repro.graphs.batch_gnp import GnpBatch
 from repro.verify.hamiltonicity import CycleViolation, verify_cycle
 
 __all__ = ["_dra_fast_batch", "_cre_fast_batch",
@@ -96,18 +106,43 @@ def auto_batch_size(n: int, p: float | None = None, *,
     return int(max(1, min(cap, _EDGE_BUDGET / per_trial)))
 
 
+def _as_trials(graphs):
+    """Normalise the batch argument (``GnpBatch`` passes through)."""
+    return graphs if isinstance(graphs, GnpBatch) else list(graphs)
+
+
+def _batch_n(graphs) -> int:
+    return graphs.n if isinstance(graphs, GnpBatch) else graphs[0].n
+
+
+def _stacked_csr(graphs):
+    """The chunk's stacked CSR as ``(indptr, indices, twins-or-None)``.
+
+    A ``GnpBatch`` ships all three directly from the pooled pair
+    arrays; lists of graphs pay the per-graph stacking copy and leave
+    the twin table for callers that need one to build on demand.
+    """
+    if isinstance(graphs, GnpBatch):
+        return graphs.stacked()
+    indptr, indices = stack_graph_csrs(graphs)
+    return indptr, indices, None
+
+
 def _chunk_spans(graphs) -> list[tuple[int, int]]:
     """Contiguous ``[lo, hi)`` spans whose stacked CSRs stay in budget."""
+    if isinstance(graphs, GnpBatch):
+        counts = graphs.directed_counts.tolist()
+    else:
+        counts = [int(g.indices.size) for g in graphs]
     spans = []
     lo = 0
     edges = 0
-    for i, g in enumerate(graphs):
-        count = int(g.indices.size)
+    for i, count in enumerate(counts):
         if i > lo and edges + count > _EDGE_BUDGET:
             spans.append((lo, i))
             lo, edges = i, 0
         edges += count
-    spans.append((lo, len(graphs)))
+    spans.append((lo, len(counts)))
     return spans
 
 
@@ -116,6 +151,8 @@ def _check_batch(graphs, seeds) -> int:
         raise ValueError(
             f"run_batch needs one seed per graph: {len(graphs)} graphs, "
             f"{len(seeds)} seeds")
+    if isinstance(graphs, GnpBatch):
+        return graphs.n  # same n by construction
     n = graphs[0].n
     for i, g in enumerate(graphs):
         if g.n != n:
@@ -131,16 +168,16 @@ def _check_batch(graphs, seeds) -> int:
 def _dra_fast_batch(graphs, *, seeds, step_budget: int | None = None,
                     ) -> list[RunResult]:
     """Algorithm 1 over a batch of trials; one RunResult per (graph, seed)."""
-    graphs = list(graphs)
+    graphs = _as_trials(graphs)
     seeds = list(seeds)
-    if not graphs:
+    if not len(graphs):
         return []
     n = _check_batch(graphs, seeds)
     if n == 0:
         deadline = diameter_budget(0) + 3 * diameter_budget(0) + 8
         return [RunResult("dra", False, None, deadline, engine="fast-batch",
                           detail={"fail_codes": ["bfs-unreachable"]})
-                for _ in graphs]
+                for _ in range(len(graphs))]
     results: list[RunResult | None] = [None] * len(graphs)
     for lo, hi in _chunk_spans(graphs):
         _dra_chunk(graphs[lo:hi], seeds[lo:hi], results, lo, step_budget)
@@ -148,7 +185,7 @@ def _dra_fast_batch(graphs, *, seeds, step_budget: int | None = None,
 
 
 def _dra_chunk(graphs, seeds, results, offset, step_budget) -> None:
-    n = graphs[0].n
+    n = _batch_n(graphs)
     batch = len(graphs)
     budget = step_budget if step_budget is not None else dra_step_budget(n)
     election_rounds = diameter_budget(n)
@@ -157,7 +194,7 @@ def _dra_chunk(graphs, seeds, results, offset, step_budget) -> None:
     # SeedSequence(seed_b).spawn(n)[v], flat-indexed by global id.
     pool = DrawPool(seeds, n)
 
-    indptr, indices = stack_graph_csrs(graphs)
+    indptr, indices, twins = _stacked_csr(graphs)
     roots = np.arange(batch, dtype=np.int64) * n
     tree = build_batch_tree(indptr, indices, batch, n, roots)
     deadline = election_rounds + 3 * diameter_budget(n) + 8
@@ -181,6 +218,7 @@ def _dra_chunk(graphs, seeds, results, offset, step_budget) -> None:
         tree_depths=np.maximum(1, tree.tree_depth),
         start_rounds=done[roots] + 1,
         live=tree.ok,
+        twins=twins,
     )
     walk.run()
     ecc = tree.eccentricities(walk.flood_initiator[connected])
@@ -226,16 +264,16 @@ def _cre_fast_batch(graphs, *, seeds, step_budget: int | None = None,
                     ) -> list[RunResult]:
     """The CRE solver over a batch of trials (decision contract of
     :mod:`repro.core.cre`, one RNG stream per trial)."""
-    graphs = list(graphs)
+    graphs = _as_trials(graphs)
     seeds = list(seeds)
-    if not graphs:
+    if not len(graphs):
         return []
     n = _check_batch(graphs, seeds)
     if n < 3:
         return [RunResult("cre", False, None, 0, engine="fast-batch",
                           detail={"fail": CRE_FAIL_TOO_SMALL, "extensions": 0,
                                   "rotations": 0, "cycle_extensions": 0})
-                for _ in graphs]
+                for _ in range(len(graphs))]
     results: list[RunResult | None] = [None] * len(graphs)
     for lo, hi in _chunk_spans(graphs):
         _cre_chunk(graphs[lo:hi], seeds[lo:hi], results, lo, step_budget)
@@ -245,11 +283,11 @@ def _cre_fast_batch(graphs, *, seeds, step_budget: int | None = None,
 def _cre_chunk(graphs, seeds, results, offset, step_budget) -> None:
     from repro.engines.batchwalk import _padded_rows
 
-    n = graphs[0].n
+    n = _batch_n(graphs)
     batch = len(graphs)
     budget = step_budget if step_budget is not None else cre_step_budget(n)
     rngs = [np.random.default_rng(seed) for seed in seeds]
-    indptr, indices = stack_graph_csrs(graphs)
+    indptr, indices, _ = _stacked_csr(graphs)
     base = np.arange(batch, dtype=np.int64) * n
 
     path = np.zeros((batch, n), dtype=np.int64)       # global ids
@@ -386,13 +424,14 @@ def _cre_chunk(graphs, seeds, results, offset, step_budget) -> None:
                                     plen[trials], n)
                 rotations[trials] += 1
 
-    for b, graph in enumerate(graphs):
+    for b in range(batch):
         ok = bool(success[b])
         cycle = None
         if ok:
+            # Only winners materialise a Graph on the GnpBatch path.
             cycle = (path[b, :plen[b]] - b * n).tolist()
             try:
-                verify_cycle(graph, cycle)
+                verify_cycle(graphs[b], cycle)
             except CycleViolation:
                 ok, cycle = False, None
                 fail[b] = CRE_FAIL_STRANDED
@@ -421,9 +460,9 @@ def _cre_fast_batch_one(graph, *, seed: int = 0,
 def _dhc2_fast_batch(graphs, *, seeds, delta: float = 0.5,
                      k: int | None = None) -> list[RunResult]:
     """Algorithm 3 over a batch: Phase 1 per colour class, Phase 2 per trial."""
-    graphs = list(graphs)
+    graphs = _as_trials(graphs)
     seeds = list(seeds)
-    if not graphs:
+    if not len(graphs):
         return []
     _check_batch(graphs, seeds)
     results: list[RunResult | None] = [None] * len(graphs)
@@ -438,7 +477,7 @@ def _dhc2_chunk(graphs, seeds, results, offset, delta, k) -> None:
     from repro.engines.fast_dhc2 import _fail, _phase2
     from repro.graphs.adjacency import csr_sources
 
-    n = graphs[0].n
+    n = _batch_n(graphs)
     batch = len(graphs)
     colors = k if k is not None else default_color_count(n, delta)
     total = batch * n
@@ -451,7 +490,7 @@ def _dhc2_chunk(graphs, seeds, results, offset, delta, k) -> None:
                                  np.full(total, colors, dtype=np.int64))
     else:
         color_of = np.zeros(0, dtype=np.int64)
-    indptr, indices = stack_graph_csrs(graphs)
+    indptr, indices, _ = _stacked_csr(graphs)
     src = csr_sources(indptr)
     # One colour-filtered CSR shared by all classes (as in serial):
     # classes are edge-disjoint within it, so the fresh dead-edge mask
@@ -532,10 +571,11 @@ def _dhc2_chunk(graphs, seeds, results, offset, delta, k) -> None:
             for b in won.tolist():
                 cycles[b][c] = walk.cycle(b)
 
-    for b, graph in enumerate(graphs):
+    for b in range(batch):
         if ok[b]:
+            # Phase 2 is the only consumer of a materialised Graph.
             results[offset + b] = _phase2(
-                graph, cycles[b], colors, int(phase1_end[b]),
+                graphs[b], cycles[b], colors, int(phase1_end[b]),
                 int(steps[b]), "fast-batch")
         else:
             results[offset + b] = _fail(
@@ -556,16 +596,16 @@ def _turau_fast_batch(graphs, *, seeds,
     """Turau path merging over a batch; decisions identical to serial."""
     from repro.core.turau import FAIL_TOO_SMALL
 
-    graphs = list(graphs)
+    graphs = _as_trials(graphs)
     seeds = list(seeds)
-    if not graphs:
+    if not len(graphs):
         return []
     n = _check_batch(graphs, seeds)
     if n < 3:
         return [RunResult("turau", False, None, 0, engine="fast-batch",
                           detail={"fail": FAIL_TOO_SMALL, "phases": 0,
                                   "initial_paths": n})
-                for _ in graphs]
+                for _ in range(len(graphs))]
     results: list[RunResult | None] = [None] * len(graphs)
     for lo, hi in _chunk_spans(graphs):
         _turau_chunk(graphs[lo:hi], seeds[lo:hi], results, lo, phase_budget)
@@ -586,7 +626,7 @@ def _turau_chunk(graphs, seeds, results, offset, phase_budget) -> None:
     from repro.graphs.adjacency import csr_sources
     from repro.graphs.properties import eccentricity
 
-    n = graphs[0].n
+    n = _batch_n(graphs)
     batch = len(graphs)
     total = batch * n
     budget = max(1, phase_budget if phase_budget is not None
@@ -594,7 +634,7 @@ def _turau_chunk(graphs, seeds, results, offset, phase_budget) -> None:
     windows = phase_windows(n, budget)
     starts = phase_starts(n, budget)
     pool = DrawPool(seeds, n)
-    indptr, indices = stack_graph_csrs(graphs)
+    indptr, indices, _ = _stacked_csr(graphs)
 
     links = [_LinkState(n) for _ in range(batch)]
     steps = np.zeros(batch, dtype=np.int64)
@@ -712,7 +752,7 @@ def _turau_chunk(graphs, seeds, results, offset, phase_budget) -> None:
                 links[b].commit(a, t)
                 steps[b] += 1
 
-    for b, graph in enumerate(graphs):
+    for b in range(batch):
         ok = fail[b] is None
         cycle = None
         if ok:
@@ -722,12 +762,12 @@ def _turau_chunk(graphs, seeds, results, offset, phase_budget) -> None:
                 ok, fail[b] = False, FAIL_PHASE_BUDGET
             else:
                 try:
-                    verify_cycle(graph, cycle)
+                    verify_cycle(graphs[b], cycle)
                 except CycleViolation:
                     ok, cycle, fail[b] = False, None, FAIL_PHASE_BUDGET
         if closure_at[b] >= 0:
             rounds = int(closure_at[b]) + 1 + eccentricity(
-                graph, int(flood_source[b]))
+                graphs[b], int(flood_source[b]))
         else:
             rounds = int(starts[-1])
         results[offset + b] = RunResult(

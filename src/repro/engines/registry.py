@@ -59,7 +59,7 @@ def _builtin_specs() -> list[EngineSpec]:
                    "repro.engines.fast_batch:_dra_fast_batch_one",
                    batch_runner="repro.engines.fast_batch:_dra_fast_batch",
                    supported_kwargs=("step_budget",),
-                   parity=("cycle", "steps", "rounds"), jit=True,
+                   parity=("cycle", "steps", "rounds"), jit=True, threads=True,
                    summary="Algorithm 1, hundreds of trials per pass on the "
                            "batch-major kernel"),
         EngineSpec("dra", "kmachine", "repro.engines.kmachine_engine:_dra_kmachine",
@@ -88,7 +88,7 @@ def _builtin_specs() -> list[EngineSpec]:
                    "repro.engines.fast_batch:_dhc2_fast_batch_one",
                    batch_runner="repro.engines.fast_batch:_dhc2_fast_batch",
                    supported_kwargs=("delta", "k"),
-                   parity=("cycle", "steps"), jit=True,
+                   parity=("cycle", "steps"), jit=True, threads=True,
                    summary="Algorithm 3, Phase 1 batched per colour class on "
                            "the batch-major kernel"),
         EngineSpec("dhc2", "kmachine", "repro.engines.kmachine_engine:_dhc2_kmachine",
@@ -134,7 +134,7 @@ def _builtin_specs() -> list[EngineSpec]:
                    "repro.engines.fast_batch:_cre_fast_batch_one",
                    batch_runner="repro.engines.fast_batch:_cre_fast_batch",
                    supported_kwargs=("step_budget",),
-                   parity=("cycle", "steps"), jit=True,
+                   parity=("cycle", "steps"), jit=True, threads=True,
                    summary="Alon-Krivelevich CRE solver, batched trials on "
                            "shared position arrays"),
         # -- the paper's centralized algorithms --------------------------------

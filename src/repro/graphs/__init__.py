@@ -11,6 +11,7 @@ Public surface:
 """
 
 from repro.graphs.adjacency import Graph, csr_gather
+from repro.graphs.batch_gnp import GnpBatch, batch_gnp
 from repro.graphs.chung_lu import chung_lu_graph, power_law_weights
 from repro.graphs.gnm import gnm_random_graph
 from repro.graphs.gnp import gnp_random_graph, hamiltonicity_threshold, paper_probability
@@ -30,6 +31,8 @@ from repro.graphs.regular import random_regular_graph
 __all__ = [
     "Graph",
     "csr_gather",
+    "GnpBatch",
+    "batch_gnp",
     "gnp_random_graph",
     "paper_probability",
     "hamiltonicity_threshold",

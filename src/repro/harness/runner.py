@@ -22,6 +22,17 @@ Orchestration layers (all optional, all preserving the seed tree):
 * **sharding** (:mod:`repro.harness.sharding`) restricts a runner to a
   deterministic slice of the (point, trial) grid so N hosts can split
   one sweep.
+
+Batched execution hands ``batch_fn(point, seeds)`` whole same-point
+groups instead of one ``(point, seed)`` at a time.  Note what crosses
+the process boundary: the *point and seed list only* — the CLI's batch
+function regenerates the graphs inside the worker (via the pooled
+:func:`repro.graphs.batch_gnp` for the G(n, p) model), so parallel
+runs never pickle materialised graphs, and a resumed sweep regroups
+remaining seeds freely without changing any record.  When the threaded
+fused kernel is active (``REPRO_JIT_THREADS``), the CLI prefers one
+threaded batch pass over process fan-out and demotes ``--jobs`` — see
+the parallelism-composition rule in ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations

@@ -255,9 +255,17 @@ class TestEnginesCommand:
         assert specs[("dhc2", "fast-batch")]["jit"] is True
         assert specs[("turau", "fast-batch")]["jit"] is False
         assert specs[("dra", "fast")]["jit"] is False
+        # threads marks jit batch entries with prange kernel variants
+        # (REPRO_JIT_THREADS); it implies jit, so Turau stays out.
+        assert specs[("dra", "fast-batch")]["threads"] is True
+        assert specs[("cre", "fast-batch")]["threads"] is True
+        assert specs[("dhc2", "fast-batch")]["threads"] is True
+        assert specs[("turau", "fast-batch")]["threads"] is False
+        assert specs[("dra", "fast")]["threads"] is False
         code, out, _ = run_cli(capsys, "engines")
         header = out.splitlines()[1]
         assert "batched" in header and "jit" in header
+        assert "threads" in header
 
 
 class TestMergeCommand:
@@ -553,6 +561,135 @@ class TestSweepCommand:
         first = store.read_text()
         run_cli(capsys, *args)  # rerun: everything loaded, nothing appended
         assert store.read_text() == first
+
+    def test_sweep_batched_store_resume_mid_batch(self, capsys, tmp_path):
+        # Kill a batched sweep after one point, resume with a different
+        # batch size: the final store must be byte-identical (modulo
+        # timings) to an uninterrupted serial sweep — the batch task
+        # regenerates graphs from (point, seeds), so grouping is
+        # invisible to the records.
+        base = ("sweep", "--algorithm", "dra", "--engine", "fast-batch",
+                "--sizes", "24,32,48", "--trials", "4", "--c", "8",
+                "--delta", "1.0", "--seed", "11", "--json")
+        full = tmp_path / "full.jsonl"
+        code, _, _ = run_cli(capsys, *base, "--store", str(full))
+        assert code == 0
+        partial = tmp_path / "partial.jsonl"
+        code, _, _ = run_cli(capsys, *base, "--sizes", "24,32",
+                             "--batch-size", "4", "--store", str(partial))
+        assert code == 0
+        # Resume over the full grid with a different grouping.
+        code, _, _ = run_cli(capsys, *base, "--batch-size", "3",
+                             "--store", str(partial))
+        assert code == 0
+
+        def canonical(path):
+            records = [json.loads(line) for line in
+                       path.read_text().splitlines() if line]
+            for r in records:
+                r.pop("elapsed_s", None)
+            return [json.dumps(r, sort_keys=True) for r in records]
+
+        assert canonical(full) == canonical(partial)
+
+
+class TestSweepJobsThreadedKernelRule:
+    """--jobs vs the threaded batch kernel (documented composition rule)."""
+
+    def _force_threaded(self, monkeypatch, threads=2):
+        from repro.engines import _jit
+
+        monkeypatch.setattr(_jit, "THREADED", True)
+        monkeypatch.setattr(_jit, "THREADS", threads)
+
+    def test_explicit_jobs_and_batch_size_conflict(self, capsys, monkeypatch):
+        self._force_threaded(monkeypatch)
+        code, _, err = run_cli(
+            capsys, "sweep", "--algorithm", "dra", "--engine", "fast-batch",
+            "--sizes", "24,32", "--trials", "4", "--c", "8",
+            "--delta", "1.0", "--seed", "5", "--json",
+            "--jobs", "2", "--batch-size", "2")
+        assert code == 2
+        assert "REPRO_JIT_THREADS" in err and "--jobs" in err
+
+    def test_auto_batching_demotes_jobs(self, capsys, monkeypatch):
+        self._force_threaded(monkeypatch)
+        monkeypatch.setattr("repro.cli.AUTO_BATCH_MIN_TRIALS", 4)
+        code, out, err = run_cli(
+            capsys, "sweep", "--algorithm", "dra",
+            "--sizes", "24,32", "--trials", "4", "--c", "8",
+            "--delta", "1.0", "--seed", "5", "--json", "--jobs", "2")
+        assert code == 0
+        assert "demoting --jobs 2 to 1" in err
+        payload = json.loads(out)
+        assert payload["engine"] == "fast-batch"
+        assert payload["jobs"] == 1
+
+    def test_engine_without_thread_capability_is_untouched(
+            self, capsys, monkeypatch):
+        # turau's batch path never enters the compiled kernels, so the
+        # rule must not fire even with threads active globally.
+        self._force_threaded(monkeypatch)
+        code, out, _ = run_cli(
+            capsys, "sweep", "--algorithm", "turau", "--engine",
+            "fast-batch", "--sizes", "24,32", "--trials", "3",
+            "--c", "6", "--delta", "0.5", "--seed", "7", "--json",
+            "--jobs", "2", "--batch-size", "3")
+        assert code == 0
+        assert json.loads(out)["jobs"] == 2
+
+    def test_serial_kernel_composes_jobs_with_batching(
+            self, capsys, tmp_path):
+        # Without kernel threads (the default here) batches are split
+        # across workers and records stay identical to serial.
+        base = ("sweep", "--algorithm", "dra", "--engine", "fast-batch",
+                "--sizes", "24,32", "--trials", "4", "--c", "8",
+                "--delta", "1.0", "--seed", "5", "--json")
+        serial = tmp_path / "serial.jsonl"
+        fanout = tmp_path / "fanout.jsonl"
+        code_s, _, _ = run_cli(capsys, *base, "--batch-size", "2",
+                               "--store", str(serial))
+        code_p, _, _ = run_cli(capsys, *base, "--batch-size", "2",
+                               "--jobs", "2", "--store", str(fanout))
+        assert code_s == code_p == 0
+
+        def canonical(path):
+            records = [json.loads(line) for line in
+                       path.read_text().splitlines() if line]
+            for r in records:
+                r.pop("elapsed_s", None)
+            return [json.dumps(r, sort_keys=True) for r in records]
+
+        assert canonical(serial) == canonical(fanout)
+
+    def test_drawpool_fallback_through_full_sweep(self, capsys,
+                                                  monkeypatch, tmp_path):
+        # DrawPool's per-node-Generator fallback (pooled stream check
+        # failed) must be invisible end-to-end: a full fast-batch sweep
+        # writes the same records either way.
+        from repro.engines import batchwalk
+
+        base = ("sweep", "--algorithm", "dra", "--engine", "fast-batch",
+                "--sizes", "24,32", "--trials", "4", "--c", "8",
+                "--delta", "1.0", "--seed", "5", "--batch-size", "4",
+                "--json")
+        exact = tmp_path / "exact.jsonl"
+        fallback = tmp_path / "fallback.jsonl"
+        code, _, _ = run_cli(capsys, *base, "--store", str(exact))
+        assert code == 0
+        with monkeypatch.context() as m:
+            m.setattr(batchwalk, "_EXACT", False)
+            code, _, _ = run_cli(capsys, *base, "--store", str(fallback))
+        assert code == 0
+
+        def canonical(path):
+            records = [json.loads(line) for line in
+                       path.read_text().splitlines() if line]
+            for r in records:
+                r.pop("elapsed_s", None)
+            return [json.dumps(r, sort_keys=True) for r in records]
+
+        assert canonical(exact) == canonical(fallback)
 
 
 class TestMainModule:
