@@ -20,8 +20,14 @@ lists still flatten element-wise (``path.0``, ``path.1``, ...):
   lower is worse; a regression is ``fresh < baseline * (1 - tolerance)``.
   The band is wide by default because smoke timings on shared CI
   runners are noisy — this is an advisory tripwire, not a perf gate.
-* **cost-like** leaves (key contains ``seconds`` or ``setup_fraction``):
-  higher is worse; a regression is ``fresh > baseline * (1 + tolerance)``.
+* **cost-like** leaves (key contains ``seconds``, ``setup_fraction``,
+  ``overhead_fraction``, ``latency``, or a ``_p90``/``_p99``
+  percentile marker): higher is worse; a regression is
+  ``fresh > baseline * (1 + tolerance)``.  The percentile markers let
+  benchmarks gate on *distribution tails* from harness metrics
+  payloads (``latency_p90_s``, ``latency_p99_s``, ...) instead of
+  only scalar medians — a p99 blow-up with a healthy median is
+  exactly the regression a median-only check misses.
 * **count-like** leaves (rounds, words, sizes — everything else):
   deterministic given the seed tree, so any relative drift beyond
   ``--drift`` means the *behaviour* changed, which is exactly what a
@@ -51,9 +57,13 @@ from pathlib import Path
 
 RATE_MARKERS = ("per_sec", "speedup")
 
-#: Inverse-rate leaves: wall-clock costs and setup shares, where a
-#: *higher* fresh value is the regression.
-COST_MARKERS = ("seconds", "setup_fraction")
+#: Inverse-rate leaves: wall-clock costs, setup/overhead shares, and
+#: latency distribution fields (including p90/p99 percentile tails
+#: from harness metrics payloads), where a *higher* fresh value is the
+#: regression.  Rate markers take precedence (``trials_per_sec_p90``
+#: would still be rate-like).
+COST_MARKERS = ("seconds", "setup_fraction", "overhead_fraction",
+                "latency", "_p90", "_p99")
 
 #: Top-level payload keys that describe the run's *configuration*
 #: (size grids, seeds, density constants).  A smoke run legitimately

@@ -91,6 +91,7 @@ from repro.harness import (
     SCHEDULERS,
     STORE_BACKENDS,
     JsonlStore,
+    MetricsCollector,
     ParallelTrialRunner,
     ShardedStore,
     ShardSpec,
@@ -231,6 +232,20 @@ def build_parser() -> argparse.ArgumentParser:
                               "file; sharded = one lock-free shard file "
                               "per writer under a directory (use with "
                               "--shard); memory = discard (testing)")
+    sweep_p.add_argument("--metrics", nargs="?", const="", default=None,
+                         metavar="PATH",
+                         help="collect sweep observability metrics "
+                              "(sampled time-series, per-trial events, "
+                              "aggregated KPIs — see docs/OBSERVABILITY"
+                              ".md): prints a KPI report to stderr and "
+                              "writes the versioned JSON payload to PATH "
+                              "(default: a <store>.metrics.json sidecar "
+                              "when --store is set, report-only "
+                              "otherwise)")
+    sweep_p.add_argument("--metrics-interval", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="wall-clock spacing of sampled metrics "
+                              "snapshots (with --metrics; default 1.0)")
     sweep_p.add_argument("--shard", default=None, metavar="I/N",
                          help="run only this host's deterministic slice "
                               "of the (point, trial) grid (0-based, e.g. "
@@ -544,8 +559,15 @@ def _cmd_sweep(args) -> int:
              if value is not None}
     trial_fn = _SweepTrial(algorithm, engine, args.delta, args.c, args.model,
                            extra)
+    collector = None
+    if args.metrics is not None:
+        if args.metrics_interval <= 0:
+            print("--metrics-interval must be > 0", file=sys.stderr)
+            return 2
+        collector = MetricsCollector(sample_interval_s=args.metrics_interval)
     runner_cls = ParallelTrialRunner if jobs > 1 else TrialRunner
-    runner_kwargs = {"master_seed": args.seed, "store": store, "shard": shard}
+    runner_kwargs = {"master_seed": args.seed, "store": store, "shard": shard,
+                     "metrics": collector}
     if callable(batch_size) or batch_size > 1:
         runner_kwargs["batch_fn"] = _SweepTrialBatch(
             algorithm, engine, args.delta, args.c, args.model, extra)
@@ -556,6 +578,32 @@ def _cmd_sweep(args) -> int:
         runner_kwargs["schedule"] = args.schedule
     runner = runner_cls(trial_fn, **runner_kwargs)
     trials = runner.run([{"n": n} for n in sizes], trials=args.trials)
+
+    if collector is not None:
+        # KPI report on stderr (the table/JSON below own stdout), the
+        # machine-readable payload to an explicit PATH or the store's
+        # sidecar (--metrics with no PATH and no --store: report only).
+        context = {"algorithm": algorithm, "engine": resolved_engine,
+                   "sizes": sizes, "trials": args.trials,
+                   "master_seed": args.seed, "jobs": jobs,
+                   "schedule": args.schedule if jobs > 1 else "serial"}
+        if shard is not None:
+            context["shard"] = str(shard)
+        payload = collector.payload(context)
+        print(collector.report(context), file=sys.stderr)
+        metrics_out = None
+        if args.metrics:
+            from pathlib import Path
+
+            metrics_out = Path(args.metrics)
+            metrics_out.parent.mkdir(parents=True, exist_ok=True)
+            metrics_out.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8")
+        elif store is not None:
+            metrics_out = store.write_metrics(payload)
+        if metrics_out is not None:
+            print(f"metrics -> {metrics_out}", file=sys.stderr)
 
     rows = []
     ns, mean_rounds = [], []

@@ -25,7 +25,14 @@ and available to downstream users building their own experiments:
   :func:`~repro.harness.sharding.merge_stores` to fuse shard stores
   back into one canonical record stream;
 * :mod:`repro.harness.aggregate` — success rates, means, quantiles,
-  group-by over trial records.
+  group-by over trial records;
+* :mod:`repro.harness.metrics` — sweep observability: a
+  :class:`~repro.harness.metrics.MetricsCollector` of sampled
+  time-series (trials/sec, queue depth, occupancy), per-trial event
+  metrics (latency, steps, resume hits), and post-run aggregated KPIs
+  (latency percentiles, per-point success rates, throughput), fed by
+  the runners' ``metrics=`` hook and persisted as a versioned
+  ``*.metrics.json`` store sidecar (see ``docs/OBSERVABILITY.md``).
 
 Every layer preserves the seed tree: seeds derive from (master seed,
 point index, trial index) whatever the scheduler, backend, or shard
@@ -35,6 +42,11 @@ of them (see :meth:`~repro.harness.runner.Trial.canonical_json`).
 
 from repro.harness.aggregate import group_by, quantile, success_rate, summarize
 from repro.harness.grid import ParameterGrid
+from repro.harness.metrics import (
+    METRICS_SCHEMA_VERSION,
+    MetricsCollector,
+    validate_metrics_payload,
+)
 from repro.harness.runner import ParallelTrialRunner, Trial, TrialRunner
 from repro.harness.scheduler import (
     SCHEDULERS,
@@ -75,4 +87,7 @@ __all__ = [
     "summarize",
     "quantile",
     "group_by",
+    "MetricsCollector",
+    "METRICS_SCHEMA_VERSION",
+    "validate_metrics_payload",
 ]

@@ -149,17 +149,29 @@ class TrialRunner:
         point's groups individually — the auto-batching sweep path
         passes :func:`repro.engines.fast_batch.auto_batch_size` here
         so batch caps track each point's expected edge count.
+    metrics:
+        Optional :class:`~repro.harness.metrics.MetricsCollector`.
+        Composes with ``progress``: the collector's event hook fires
+        on exactly the same once-per-returned-trial contract (fresh
+        and resumed alike, every code path — serial, batched,
+        parallel), tagged with resume status and the batch group size
+        the trial ran in.  The runner also drives ``begin``/``finish``
+        so sampled time-series and aggregated KPIs cover the whole
+        run; reading the results (:meth:`~repro.harness.metrics.
+        MetricsCollector.payload` / ``report``) is the caller's job.
     """
 
     def __init__(self, fn: Callable[[dict, int], Any], *,
                  master_seed: int = 0, store=None, shard=None,
                  batch_fn: Callable[[dict, list[int]], Any] | None = None,
-                 batch_size: int | Callable[[dict], int] = 1):
+                 batch_size: int | Callable[[dict], int] = 1,
+                 metrics=None):
         from repro.harness.sharding import ShardSpec
 
         self.fn = fn
         self.master_seed = master_seed
         self.store = store
+        self.metrics = metrics
         self.shard = ShardSpec.coerce(shard)
         if callable(batch_size):
             self.batch_size: int | Callable[[dict], int] = batch_size
@@ -209,6 +221,34 @@ class TrialRunner:
                              done.get(trial_key(point, trial_index))))
         return plan
 
+    def _report(self, trial: Trial,
+                progress: Callable[[Trial], None] | None, *,
+                resumed: bool = False, batch_size: int = 1) -> None:
+        """The single reporting path every runner code path funnels into.
+
+        Fires the metrics event hook and then ``progress``, exactly
+        once per returned trial — fresh, resumed, batched, or
+        parallel.  Keeping this in one place is what guarantees the
+        two observers always agree on the event stream (resumed
+        trials in batched paths included).
+        """
+        if self.metrics is not None:
+            self.metrics.record_trial(trial, resumed=resumed,
+                                      batch_size=batch_size)
+        if progress is not None:
+            progress(trial)
+
+    def _metrics_begin(self, plan, *, workers: int = 1) -> None:
+        """Open the collector on this run's plan (no-op without one)."""
+        if self.metrics is not None:
+            pending = sum(1 for *_, existing in plan if existing is None)
+            self.metrics.begin(total=len(plan), pending=pending,
+                               workers=workers)
+
+    def _metrics_finish(self) -> None:
+        if self.metrics is not None:
+            self.metrics.finish()
+
     def run(self, points, *, trials: int = 1,
             progress: Callable[[Trial], None] | None = None) -> list[Trial]:
         """Execute every owned (point, trial) pair; returns them in order.
@@ -217,17 +257,19 @@ class TrialRunner:
         instead of re-run (their stored metrics are trusted — reruns
         are bit-identical by construction, so this is safe).
         ``progress`` fires exactly once per returned trial, resumed or
-        freshly executed alike.
+        freshly executed alike; the ``metrics`` event hook fires on
+        the same contract.
         """
         points = [dict(p) for p in points]
         if self._batching():
             return self._run_batched(points, trials, progress)
+        plan = self._plan(points, trials)
+        self._metrics_begin(plan)
         out: list[Trial] = []
-        for point_index, trial_index, point, existing in self._plan(points, trials):
+        for point_index, trial_index, point, existing in plan:
             if existing is not None:
                 out.append(existing)
-                if progress is not None:
-                    progress(existing)
+                self._report(existing, progress, resumed=True)
                 continue
             seed = self.derive_seed(point_index, trial_index)
             start = time.perf_counter()
@@ -237,8 +279,8 @@ class TrialRunner:
             out.append(trial)
             if self.store is not None:
                 self.store.append(trial)
-            if progress is not None:
-                progress(trial)
+            self._report(trial, progress)
+        self._metrics_finish()
         return out
 
     def _run_batched(self, points, trials: int,
@@ -269,22 +311,23 @@ class TrialRunner:
                 out.append(trial)
                 if self.store is not None:
                     self.store.append(trial)
-                if progress is not None:
-                    progress(trial)
+                self._report(trial, progress, batch_size=len(raws))
             buf.clear()
 
-        for point_index, trial_index, point, existing in self._plan(points, trials):
+        plan = self._plan(points, trials)
+        self._metrics_begin(plan)
+        for point_index, trial_index, point, existing in plan:
             if existing is not None:
                 flush()
                 out.append(existing)
-                if progress is not None:
-                    progress(existing)
+                self._report(existing, progress, resumed=True)
                 continue
             if buf and (len(buf) >= self._batch_cap(buf[0][2])
                         or buf[0][2] != point):
                 flush()
             buf.append((point_index, trial_index, point))
         flush()
+        self._metrics_finish()
         return out
 
 
@@ -339,12 +382,13 @@ class ParallelTrialRunner(TrialRunner):
                  jobs: int | None = None, mp_context: str | None = None,
                  chunksize: int | None = None, schedule="ordered",
                  batch_fn: Callable[[dict, list[int]], Any] | None = None,
-                 batch_size: int | Callable[[dict], int] = 1):
+                 batch_size: int | Callable[[dict], int] = 1,
+                 metrics=None):
         from repro.harness.scheduler import resolve_scheduler
 
         super().__init__(fn, master_seed=master_seed, store=store,
                          shard=shard, batch_fn=batch_fn,
-                         batch_size=batch_size)
+                         batch_size=batch_size, metrics=metrics)
         self.jobs = int(jobs) if jobs else (os.cpu_count() or 1)
         if mp_context is None and sys.platform.startswith("linux") \
                 and "fork" in multiprocessing.get_all_start_methods():
@@ -374,16 +418,20 @@ class ParallelTrialRunner(TrialRunner):
         if len(pending) <= 1:  # nothing worth a pool; serial path resumes
             return super().run(points, trials=trials, progress=progress)
 
+        workers = min(self.jobs, len(pending))
+        self._metrics_begin(plan, workers=workers)
         # Resumed trials are reported up front (schedule order); the
         # scheduler then emits freshly computed ones as it completes
-        # them.  Either way progress fires once per returned trial.
+        # them.  Either way progress — and the metrics event hook —
+        # fires once per returned trial (see :meth:`_report`).
         results: list[Trial | None] = [existing for _, _, _, existing in plan]
-        if progress is not None:
-            for existing in results:
-                if existing is not None:
-                    progress(existing)
+        for existing in results:
+            if existing is not None:
+                self._report(existing, progress, resumed=True)
 
         batching = self._batching()
+        #: slot -> size of the batch group that computes it (metrics).
+        batch_of: dict[int, int] = {}
         if batching:
             # Same grouping as the serial batched loop: consecutive
             # pending slots sharing a point, capped at the point's
@@ -399,6 +447,8 @@ class ParallelTrialRunner(TrialRunner):
                               group[0][3],
                               tuple(ti for _, _, ti, _ in group),
                               tuple(seeds)))
+                for slot, _, _, _ in group:
+                    batch_of[slot] = len(group)
                 group.clear()
 
             for ent in pending:
@@ -421,12 +471,14 @@ class ParallelTrialRunner(TrialRunner):
             results[slot] = trial
             if self.store is not None:
                 self.store.append(trial)
-            if progress is not None:
-                progress(trial)
+            self._report(trial, progress, batch_size=batch_of.get(slot, 1))
 
         extra = {"batch_fn": self.batch_fn} if batching else {}
+        if self.metrics is not None:
+            extra["metrics"] = self.metrics
         self.scheduler.execute(ctx, self.fn, tasks, workers=workers,
                                chunksize=chunksize, emit=emit, **extra)
+        self._metrics_finish()
         return results  # type: ignore[return-value]  # every slot filled
 
 

@@ -83,9 +83,20 @@ class TrialScheduler(abc.ABC):
     def execute(self, ctx, fn: Callable[[dict, int], Any], tasks: list[Task],
                 *, workers: int, chunksize: int,
                 emit: Callable[[int, Trial], None],
-                batch_fn: Callable[[dict, list[int]], Any] | None = None
-                ) -> None:
-        """Run ``tasks`` on a ``ctx.Pool(workers)``, emitting results."""
+                batch_fn: Callable[[dict, list[int]], Any] | None = None,
+                metrics=None) -> None:
+        """Run ``tasks`` on a ``ctx.Pool(workers)``, emitting results.
+
+        ``metrics`` is the runner's optional
+        :class:`~repro.harness.metrics.MetricsCollector`: schedulers
+        annotate it with the realised pool shape (scheduler name,
+        worker count, chunk size) before the loop starts.  Per-trial
+        event metrics flow through ``emit`` — since the scheduler's
+        emission order *is* the observation order, the collector's
+        sampled queue-depth series reflects submission-order drain
+        under ``ordered`` and true completion-order drain under
+        ``work-stealing``.
+        """
 
     @staticmethod
     def auto_chunksize(pending: int, workers: int) -> int:
@@ -104,7 +115,10 @@ class OrderedScheduler(TrialScheduler):
     name = "ordered"
 
     def execute(self, ctx, fn, tasks, *, workers, chunksize, emit,
-                batch_fn=None) -> None:
+                batch_fn=None, metrics=None) -> None:
+        if metrics is not None:
+            metrics.annotate_pool(scheduler=self.name, workers=workers,
+                                  chunksize=chunksize)
         with ctx.Pool(processes=workers, initializer=_pool_initializer,
                       initargs=(fn, batch_fn)) as pool:
             # imap (ordered) keeps emissions in submission order — the
@@ -129,7 +143,10 @@ class WorkStealingScheduler(TrialScheduler):
     name = "work-stealing"
 
     def execute(self, ctx, fn, tasks, *, workers, chunksize, emit,
-                batch_fn=None) -> None:
+                batch_fn=None, metrics=None) -> None:
+        if metrics is not None:
+            metrics.annotate_pool(scheduler=self.name, workers=workers,
+                                  chunksize=chunksize)
         with ctx.Pool(processes=workers, initializer=_pool_initializer,
                       initargs=(fn, batch_fn)) as pool:
             for finished in pool.imap_unordered(_pool_trial, tasks,

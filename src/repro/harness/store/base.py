@@ -21,14 +21,28 @@ ordered run's JSONL file is already canonical.
 Backends register in :data:`STORE_BACKENDS` so the CLI's
 ``--store-backend`` choices and :func:`make_store` stay in sync with
 the implementations without the CLI importing each one.
+
+Metrics sidecar
+---------------
+A file-backed store can carry one *metrics sidecar* — the versioned
+JSON payload of a :class:`~repro.harness.metrics.MetricsCollector` —
+next to its trial records (``<store>.metrics.json``).  The sidecar is
+observability data *about* a sweep, not part of the trial record
+stream: ``load``/``merge``/resume never read it, and rewriting it
+never perturbs canonical records.  Backends opt in by overriding
+:meth:`TrialStore.metrics_path`; see ``docs/OBSERVABILITY.md`` for
+the schema.
 """
 
 from __future__ import annotations
 
 import abc
+import json
 from typing import TYPE_CHECKING, Callable, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
     from repro.harness.runner import Trial
 
 __all__ = ["TrialStore", "STORE_BACKENDS", "canonical_order", "make_store"]
@@ -79,6 +93,43 @@ class TrialStore(abc.ABC):
     def load_canonical(self) -> list["Trial"]:
         """:meth:`load` re-ordered into :func:`canonical_order`."""
         return canonical_order(self.load())
+
+    def metrics_path(self) -> "Path | None":
+        """Where this store's metrics sidecar lives (``None`` = none).
+
+        File-backed stores derive it from their own path
+        (``sweep.jsonl`` -> ``sweep.metrics.json``); backends without
+        durable storage return ``None`` and the sidecar methods become
+        no-ops.
+        """
+        return None
+
+    def write_metrics(self, payload: dict) -> "Path | None":
+        """Write the metrics sidecar (overwriting), return its path.
+
+        ``payload`` is a :meth:`~repro.harness.metrics.
+        MetricsCollector.payload` dict (any JSON-safe mapping is
+        accepted; the versioned schema is validated on *read*, where
+        version skew can actually occur).  Returns ``None`` for
+        backends without a sidecar location.
+        """
+        path = self.metrics_path()
+        if path is None:
+            return None
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
+    def load_metrics(self) -> dict | None:
+        """The validated metrics sidecar payload, or ``None`` if absent."""
+        from repro.harness.metrics import validate_metrics_payload
+
+        path = self.metrics_path()
+        if path is None or not path.exists():
+            return None
+        return validate_metrics_payload(
+            json.loads(path.read_text(encoding="utf-8")))
 
     def __len__(self) -> int:
         return len(self.load())

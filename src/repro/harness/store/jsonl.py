@@ -47,6 +47,12 @@ class JsonlStore(TrialStore):
             fh.write(json.dumps(trial.to_json(), sort_keys=True))
             fh.write("\n")
 
+    def metrics_path(self) -> Path:
+        """Sidecar next to the store file: ``sweep.jsonl`` ->
+        ``sweep.metrics.json`` (observability data about the sweep;
+        never read by ``load``/resume)."""
+        return self.path.with_name(self.path.stem + ".metrics.json")
+
     def load(self) -> list[Trial]:
         """All stored trials; a torn final line (crash) is skipped."""
         if not self.path.exists():

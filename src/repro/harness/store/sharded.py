@@ -57,6 +57,16 @@ class ShardedStore(TrialStore):
             fh.write(json.dumps(trial.to_json(), sort_keys=True))
             fh.write("\n")
 
+    def metrics_path(self) -> Path:
+        """Per-writer sidecar: ``shard-<label>.metrics.json``.
+
+        Each writer observes only its own slice of the sweep, so —
+        exactly like the trial records — sidecars are lock-free
+        per-writer files.  (``shard_paths`` matches ``shard-*.jsonl``
+        only, so sidecars never pollute the record merge.)
+        """
+        return self.directory / f"shard-{self.shard}.metrics.json"
+
     def shard_paths(self) -> list[Path]:
         """Every shard file present, in sorted (deterministic) order."""
         if not self.directory.is_dir():

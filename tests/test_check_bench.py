@@ -75,6 +75,40 @@ class TestCompare:
         assert "cost regression" in problems[0]
         assert "setup_fraction" in problems[0]
 
+    def test_percentile_tails_gate_as_costs(self):
+        base = {"metrics_lane": {"overhead_fraction": 0.005,
+                                 "kpis": {"latency_p50_s": 0.01,
+                                          "latency_p90_s": 0.02,
+                                          "latency_p99_s": 0.03}}}
+        # A p99 blow-up with a healthy median is caught ...
+        fresh = json.loads(json.dumps(base))
+        fresh["metrics_lane"]["kpis"]["latency_p99_s"] = 0.30
+        problems, compared, _ = compare(fresh, base, 0.5, 0.25)
+        assert compared == 4
+        assert len(problems) == 1
+        assert "latency_p99_s" in problems[0]
+        assert "cost regression" in problems[0]
+        # ... and so is collector overhead creeping past its band.
+        heavy = json.loads(json.dumps(base))
+        heavy["metrics_lane"]["overhead_fraction"] = 0.02
+        problems, _, _ = compare(heavy, base, 0.5, 0.25)
+        assert len(problems) == 1 and "overhead_fraction" in problems[0]
+        # Tails falling is an improvement, never a problem.
+        quick = json.loads(json.dumps(base))
+        quick["metrics_lane"]["kpis"]["latency_p90_s"] = 0.001
+        problems, _, _ = compare(quick, base, 0.5, 0.25)
+        assert problems == []
+
+    def test_rate_markers_beat_percentile_markers(self):
+        # trials_per_sec_p90 is rate-like: lower, not higher, is worse.
+        base = {"kpis": {"trials_per_sec_p90": 100.0}}
+        fresh = {"kpis": {"trials_per_sec_p90": 200.0}}
+        problems, compared, _ = compare(fresh, base, 0.5, 0.25)
+        assert problems == [] and compared == 1
+        slow = {"kpis": {"trials_per_sec_p90": 10.0}}
+        problems, _, _ = compare(slow, base, 0.5, 0.25)
+        assert len(problems) == 1 and "rate regression" in problems[0]
+
     def test_jit_threads_is_config_not_signal(self):
         base = dict(BASE, jit_threads=0)
         fresh = json.loads(json.dumps(BASE))

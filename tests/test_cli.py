@@ -8,6 +8,7 @@ import sys
 import pytest
 
 from repro.cli import main
+from repro.harness import validate_metrics_payload
 
 
 def run_cli(capsys, *argv):
@@ -757,3 +758,66 @@ class TestTopLevel:
         with pytest.raises(SystemExit) as exc:
             main(["--help"])
         assert exc.value.code == 0
+
+
+class TestSweepMetrics:
+    def test_metrics_report_and_store_sidecar(self, capsys, tmp_path):
+        store = tmp_path / "sweep.jsonl"
+        code, out, err = run_cli(
+            capsys, "sweep", "--algorithm", "dra-fast",
+            "--sizes", "32,48", "--trials", "2", "--c", "8",
+            "--delta", "1.0", "--seed", "7", "--store", str(store),
+            "--metrics", "--json")
+        assert code == 0
+        assert json.loads(out)["rows"]
+        assert "== sweep metrics (schema v1) ==" in err
+        sidecar = tmp_path / "sweep.metrics.json"
+        assert f"metrics -> {sidecar}" in err
+        payload = validate_metrics_payload(json.loads(sidecar.read_text()))
+        assert payload["kpis"]["trials"] == 4
+        # "dra-fast" is an alias the CLI normalises to (dra, fast).
+        assert payload["context"]["algorithm"] == "dra"
+        assert payload["context"]["engine"] == "fast"
+        assert payload["context"]["schedule"] == "serial"
+
+    def test_metrics_explicit_path_without_store(self, capsys, tmp_path):
+        path = tmp_path / "kpis.json"
+        code, _, err = run_cli(
+            capsys, "sweep", "--algorithm", "dra-fast",
+            "--sizes", "32,48", "--trials", "1", "--c", "8",
+            "--delta", "1.0", "--seed", "7", "--metrics", str(path))
+        assert code == 0
+        assert path.exists()
+        payload = validate_metrics_payload(json.loads(path.read_text()))
+        assert payload["kpis"]["trials"] == 2
+
+    def test_metrics_without_store_or_path_reports_only(self, capsys):
+        code, _, err = run_cli(
+            capsys, "sweep", "--algorithm", "dra-fast",
+            "--sizes", "32,48", "--trials", "1", "--c", "8",
+            "--delta", "1.0", "--seed", "7", "--metrics")
+        assert code == 0
+        assert "== sweep metrics (schema v1) ==" in err
+        assert "metrics ->" not in err
+
+    def test_metrics_parallel_kpis_match_serial(self, capsys, tmp_path):
+        paths = {}
+        for label, extra in (("serial", []),
+                             ("parallel", ["--jobs", "2"])):
+            paths[label] = tmp_path / f"{label}.json"
+            code, _, _ = run_cli(
+                capsys, "sweep", "--algorithm", "dra-fast",
+                "--sizes", "32,48", "--trials", "4", "--c", "8",
+                "--delta", "1.0", "--seed", "5",
+                "--metrics", str(paths[label]), *extra)
+            assert code == 0
+        serial = json.loads(paths["serial"].read_text())
+        parallel = json.loads(paths["parallel"].read_text())
+        assert serial["kpis"] == parallel["kpis"]
+
+    def test_metrics_rejects_bad_interval(self, capsys):
+        code, _, err = run_cli(
+            capsys, "sweep", "--sizes", "32,48", "--metrics",
+            "--metrics-interval", "0")
+        assert code == 2
+        assert "--metrics-interval" in err
