@@ -8,7 +8,7 @@ re-verified against the graph).  A benign fault plan must cost nothing:
 identical rounds and cycle to the native run.
 """
 
-from repro.congest.faults import FaultInjector, FaultPlan
+from repro.congest import FaultPlan, NetworkModel
 from repro.core import run_dra
 from repro.graphs import gnp_random_graph, paper_probability
 from repro.verify import is_hamiltonian_cycle
@@ -29,13 +29,14 @@ def _sweep():
         dropped = offered = 0
         for seed in range(TRIALS):
             graph = gnp_random_graph(N, p, seed=seed)
-            injector = FaultInjector(FaultPlan(drop_probability=drop, seed=seed))
-            result = run_dra(graph, seed=seed, network_hook=injector.attach)
+            model = NetworkModel(
+                fault_plan=FaultPlan(drop_probability=drop, seed=seed))
+            result = run_dra(graph, seed=seed, network=model)
             if result.success:
                 assert is_hamiltonian_cycle(graph, result.cycle)
                 wins += 1
-            dropped += injector.dropped
-            offered += injector.offered
+            dropped += result.detail["faults"]["dropped"]
+            offered += result.detail["faults"]["offered"]
         rows.append((f"{drop:.1%}", wins, TRIALS,
                      float(dropped / offered if offered else 0.0)))
     return rows

@@ -71,7 +71,7 @@ COST_MARKERS = ("seconds", "setup_fraction", "overhead_fraction",
 CONFIG_KEYS = frozenset({
     "sizes", "native_sizes", "ks", "seed", "c", "delta", "trials",
     "shared_n", "congest_max", "dhc2_max", "batch_sizes",
-    "jit_threads", "threads",
+    "jit_threads", "threads", "n", "drops", "churn",
 })
 
 

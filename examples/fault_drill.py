@@ -15,7 +15,7 @@ exceptions, no false positives, observable drop/crash counters.
 Run:  python examples/fault_drill.py
 """
 
-from repro.congest.faults import FaultInjector, FaultPlan
+from repro.congest import FaultPlan, NetworkModel
 from repro.core import run_dra
 from repro.graphs import gnp_random_graph, paper_probability
 from repro.reporting import render_table
@@ -30,9 +30,9 @@ def main() -> None:
 
     rows = []
     for drop in (0.0, 0.01, 0.05, 0.2, 1.0):
-        injector = FaultInjector(FaultPlan(drop_probability=drop, seed=1))
-        result = run_dra(graph, seed=5, network_hook=injector.attach)
-        stats = injector.summary()
+        model = NetworkModel(fault_plan=FaultPlan(drop_probability=drop, seed=1))
+        result = run_dra(graph, seed=5, network=model)
+        stats = result.detail["faults"]
         rows.append([
             f"{drop:.0%}",
             "cycle" if result.success else "clean failure",
@@ -47,10 +47,10 @@ def main() -> None:
 
     # Crash-stop drill: kill one node mid-run.  A Hamiltonian cycle
     # needs every node, so this *must* be a clean failure.
-    injector = FaultInjector(FaultPlan(crash_rounds={7: 25}))
-    result = run_dra(graph, seed=5, network_hook=injector.attach)
+    model = NetworkModel(fault_plan=FaultPlan(crash_rounds={7: 25}))
+    result = run_dra(graph, seed=5, network=model)
     print(f"crash-stop node 7 at round 25 -> success={result.success}, "
-          f"crashed={sorted(injector.crashed)}")
+          f"crashed={int(result.detail['faults']['crashed_nodes'])} node(s)")
     assert not result.success, "a dead node cannot be on a Hamiltonian cycle"
     print("safety contract held: no false success, no exceptions.")
 

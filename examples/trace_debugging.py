@@ -12,6 +12,7 @@ runs DRA with a trace recorder attached and prints three views:
 Run:  python examples/trace_debugging.py
 """
 
+from repro.congest import NetworkModel
 from repro.core import run_dra
 from repro.graphs import gnp_random_graph, paper_probability
 from repro.trace import TraceRecorder, activity_timeline, kind_summary, node_lens
@@ -23,7 +24,8 @@ def main() -> None:
     graph = gnp_random_graph(n, p, seed=11)
 
     recorder = TraceRecorder()
-    result = run_dra(graph, seed=5, network_hook=recorder.attach)
+    result = run_dra(graph, seed=5,
+                     network=NetworkModel(network_hook=recorder.attach))
     print(f"run: {result}")
     print()
 

@@ -55,6 +55,9 @@ __all__ = [
     "REGISTRY",
     "EngineRegistry",
     "EngineSpec",
+    "NetworkModel",
+    "LatencySpec",
+    "FaultPlan",
     "__version__",
 ]
 
@@ -72,8 +75,14 @@ _BASELINE_EXPORTS = {"run_levy", "run_local_collect"}
 
 _ENGINE_EXPORTS = {"run", "REGISTRY", "EngineRegistry", "EngineSpec"}
 
+_CONGEST_EXPORTS = {"NetworkModel", "LatencySpec", "FaultPlan"}
+
 
 def __getattr__(name):  # lazy: repro.core pulls in every substrate
+    if name in _CONGEST_EXPORTS:
+        import repro.congest as _congest
+
+        return getattr(_congest, name)
     if name in _CORE_EXPORTS:
         import repro.core as _core
 

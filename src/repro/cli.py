@@ -119,6 +119,36 @@ def _engine_choices() -> list[str]:
     return ["auto", *REGISTRY.engine_names()]
 
 
+def _parse_network_arg(text: str, *, engine: str) -> str:
+    """Validate ``--network JSON|@file`` into the canonical JSON string.
+
+    The value is parsed into a
+    :class:`~repro.congest.model.NetworkModel` here — bad documents
+    fail before any graph is sampled — and handed to runners as the
+    canonical string form (byte-stable and hashable, so sweep points
+    carrying it stay store-canonicalisable).  With ``--engine async``
+    a document without an explicit ``mode`` defaults to async, since
+    latency/churn fields would otherwise trip the sync-mode validator.
+    """
+    from repro.congest.model import NetworkModel
+
+    if text.startswith("@"):
+        from pathlib import Path
+
+        try:
+            text = Path(text[1:]).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ValueError(f"cannot read --network file: {exc}") from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"--network is not valid JSON: {exc}") from None
+    if engine == "async" and isinstance(data, dict):
+        data = {"mode": "async", **data}
+    model = NetworkModel.from_json(data)  # ValueError -> exit 2 in main
+    return model.canonical()
+
+
 def _resolve_algorithm(name: str, engine: str) -> tuple[str, str]:
     """Map a CLI algorithm name (possibly a legacy alias) to registry keys."""
     if name in _LEGACY_ALIASES:
@@ -172,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "round (native engine and conversion)")
     run_p.add_argument("--audit-memory", action="store_true",
                        help="record per-node peak state (fully-distributed check)")
+    run_p.add_argument("--network", default=None, metavar="JSON|@FILE",
+                       help="network substrate as a NetworkModel JSON "
+                            "document (or @file.json): mode sync|async, "
+                            "bandwidth_words, fault_plan, latency, churn, "
+                            "seed — e.g. '{\"fault_plan\":{\"drop_"
+                            "probability\":0.05}}'; with --engine async an "
+                            "omitted mode defaults to async")
     run_p.add_argument("--json", action="store_true",
                        help="machine-readable output")
 
@@ -246,6 +283,11 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="wall-clock spacing of sampled metrics "
                               "snapshots (with --metrics; default 1.0)")
+    sweep_p.add_argument("--network", default=None, metavar="JSON|@FILE",
+                         help="network substrate for every trial (same "
+                              "NetworkModel JSON form as `run --network`); "
+                              "recorded in each grid point, so stores and "
+                              "resume keys distinguish substrates")
     sweep_p.add_argument("--shard", default=None, metavar="I/N",
                          help="run only this host's deterministic slice "
                               "of the (point, trial) grid (0-based, e.g. "
@@ -325,6 +367,13 @@ def _cmd_run(args) -> int:
         required["audit_memory"] = True
     if args.k is not None:
         required["k"] = args.k
+    if args.network is not None:
+        if args.k_machines is not None and engine != "kmachine":
+            print("--network describes the congest/async substrate; the "
+                  "k-machine conversion re-costs a synchronous fault-free "
+                  "run and does not compose with it", file=sys.stderr)
+            return 2
+        required["network"] = _parse_network_arg(args.network, engine=engine)
 
     kmachine_summary = None
     if engine == "kmachine":
@@ -427,6 +476,11 @@ class _SweepTrial:
             self.model, point["n"], self.delta, self.c, seed)
         spec = REGISTRY.resolve(self.algorithm, self.engine)
         kwargs = spec.filter_kwargs({"delta": self.delta, **self.extra})
+        if "network" in point:
+            # Canonical NetworkModel JSON riding in the grid point
+            # (--network sweeps); the engine was pinned to one that
+            # declares the kwarg, so spec.call validates it normally.
+            kwargs["network"] = point["network"]
         return spec.call(graph, seed=seed, **kwargs)
 
 
@@ -490,7 +544,15 @@ def _cmd_sweep(args) -> int:
     # Fail an invalid (algorithm, engine) pair here, before any graph
     # is sampled or worker pool spawned; trials re-resolve per call
     # (deterministically — same algorithm, engine, and empty require).
-    spec = REGISTRY.resolve(algorithm, engine)
+    network = None
+    if args.network is not None:
+        network = _parse_network_arg(args.network, engine=engine)
+        # Pin the engine now: trials re-resolve by name, and "auto"
+        # must not land on an engine that cannot honour the model.
+        spec = REGISTRY.resolve(algorithm, engine, require=("network",))
+        engine = spec.engine
+    else:
+        spec = REGISTRY.resolve(algorithm, engine)
     resolved_engine = spec.engine
 
     if args.batch_size is not None and args.batch_size < 1:
@@ -577,7 +639,14 @@ def _cmd_sweep(args) -> int:
         runner_kwargs["chunksize"] = args.chunksize
         runner_kwargs["schedule"] = args.schedule
     runner = runner_cls(trial_fn, **runner_kwargs)
-    trials = runner.run([{"n": n} for n in sizes], trials=args.trials)
+    points: list[dict] = [{"n": n} for n in sizes]
+    if network is not None:
+        # The canonical string rides in the grid point: trial keys,
+        # store records, and resume matching all distinguish substrates
+        # without any side channel.
+        for point in points:
+            point["network"] = network
+    trials = runner.run(points, trials=args.trials)
 
     if collector is not None:
         # KPI report on stderr (the table/JSON below own stdout), the
@@ -705,6 +774,7 @@ def _cmd_engines(args) -> int:
             "kmachine_convertible": s.kmachine_convertible,
             "audits_memory": s.audits_memory,
             "batched": s.batched,
+            "async_capable": s.async_capable,
             "jit": s.jit,
             "threads": s.threads,
             "parity": sorted(s.parity),
@@ -715,14 +785,15 @@ def _cmd_engines(args) -> int:
                  "yes" if s.kmachine_convertible else "-",
                  "yes" if s.audits_memory else "-",
                  "yes" if s.batched else "-",
+                 "yes" if s.async_capable else "-",
                  "yes" if s.jit else "-",
                  "yes" if s.threads else "-",
                  ",".join(sorted(s.supported_kwargs)) or "-",
                  s.summary]
                 for s in specs]
         print(render_table(
-            ["algorithm", "engine", "k-machine", "audit", "batched", "jit",
-             "threads", "kwargs", "summary"],
+            ["algorithm", "engine", "k-machine", "audit", "batched", "async",
+             "jit", "threads", "kwargs", "summary"],
             rows, title="registered (algorithm, engine) pairs"))
     return 0
 

@@ -108,6 +108,36 @@ class FaultPlan:
         return (self.drop_probability == 0.0 and not self.dead_links
                 and not self.crash_rounds)
 
+    def to_json(self) -> dict:
+        """JSON-safe dict form (see :meth:`from_json`)."""
+        return {
+            "drop_probability": self.drop_probability,
+            "dead_links": sorted(list(pair) for pair in self.dead_links),
+            "crash_rounds": {str(v): r for v, r in
+                             sorted(self.crash_rounds.items())},
+            "window": None if self.window is None else list(self.window),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_json` (JSON objects string their keys)."""
+        known = {"drop_probability", "dead_links", "crash_rounds",
+                 "window", "seed"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown FaultPlan fields: {', '.join(unknown)}")
+        kwargs = dict(data)
+        if "dead_links" in kwargs:
+            kwargs["dead_links"] = frozenset(
+                tuple(pair) for pair in kwargs["dead_links"])
+        if "crash_rounds" in kwargs:
+            kwargs["crash_rounds"] = {int(v): r for v, r in
+                                      kwargs["crash_rounds"].items()}
+        if kwargs.get("window") is not None:
+            kwargs["window"] = tuple(kwargs["window"])
+        return cls(**kwargs)
+
 
 class FaultInjector:
     """Applies a :class:`FaultPlan` to a network and counts what it broke.

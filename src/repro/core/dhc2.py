@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 
 from repro.analysis.bounds import diameter_budget, dra_round_budget
-from repro.congest.network import Network
+from repro.congest.model import build_network, coerce_network_model
 from repro.congest.node import Context
 from repro.core.merge import MergeMachine
 from repro.core.phase1 import (
@@ -176,6 +176,7 @@ def run_dhc2(
     audit_memory: bool = False,
     network_hook=None,
     fault_plan=None,
+    network=None,
 ) -> RunResult:
     """Run Algorithm 3 on ``graph`` in the CONGEST simulator.
 
@@ -184,32 +185,28 @@ def run_dhc2(
     cycle of size ``n`` *and* the assembled successor map to verify as a
     Hamiltonian cycle of the input graph.
 
-    ``network_hook(network)``, if given, runs after construction and
-    before execution (observer attachment point); ``fault_plan``
-    declaratively attaches a
-    :class:`~repro.congest.faults.FaultInjector`, reported under
-    ``detail["faults"]``.
+    ``network`` is a :class:`~repro.congest.model.NetworkModel` (or its
+    JSON form) describing the substrate; the legacy ``network_hook=`` /
+    ``fault_plan=`` keywords are deprecated shims folding into it.  A
+    fault plan's counters appear under ``detail["faults"]``; async runs
+    also report ``detail["async"]``.
     """
     n = graph.n
-    injector = None
-    if fault_plan is not None:
-        from repro.congest.faults import compose_fault_hook
-
-        network_hook, injector = compose_fault_hook(fault_plan, network_hook)
+    model = coerce_network_model(network, network_hook=network_hook,
+                                 fault_plan=fault_plan, caller="run_dhc2")
     colors = k if k is not None else default_color_count(n, delta)
     limit = max_rounds if max_rounds is not None else dhc2_round_budget(n, colors)
-    network = Network(
+    network_, injector = build_network(
         graph,
         lambda v: Dhc2Protocol(v, n, colors),
         seed=seed,
-        bandwidth_words=12,
+        model=model,
         audit_memory=audit_memory,
+        default_bandwidth=12,
     )
-    if network_hook is not None:
-        network_hook(network)
-    metrics = network.run(max_rounds=limit, raise_on_limit=False)
+    metrics = network_.run(max_rounds=limit, raise_on_limit=False)
 
-    protocols: list[Dhc2Protocol] = network.protocols  # type: ignore[assignment]
+    protocols: list[Dhc2Protocol] = network_.protocols  # type: ignore[assignment]
     ok = bool(protocols) and all(
         p.finished and not p.aborted and p.cycle_size == n for p in protocols
     )
@@ -229,7 +226,9 @@ def run_dhc2(
     }
     if injector is not None:
         detail["faults"] = injector.summary()
-    if audit_memory:
+    if model.is_async():
+        detail["async"] = network_.async_summary()
+    if audit_memory or model.audit_memory:
         detail["max_state_words"] = metrics.max_state_words()
         detail["state_words"] = metrics.peak_state_words.tolist()
     return RunResult(
@@ -240,6 +239,6 @@ def run_dhc2(
         messages=metrics.messages,
         bits=metrics.bits,
         steps=steps,
-        engine="congest",
+        engine="async" if model.is_async() else "congest",
         detail=detail,
     )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.analysis.bounds import diameter_budget, dra_round_budget, dra_step_budget
 from repro.congest.message import Message
-from repro.congest.network import Network
+from repro.congest.model import build_network, coerce_network_model
 from repro.congest.node import Context, Protocol
 from repro.core.rotation import RotationWalk, VirtualEdge
 from repro.engines.results import RunResult
@@ -115,6 +115,7 @@ def run_dra(
     audit_memory: bool = False,
     network_hook=None,
     fault_plan=None,
+    network=None,
 ) -> RunResult:
     """Run Algorithm 1 on ``graph`` in the CONGEST simulator.
 
@@ -122,32 +123,30 @@ def run_dra(
     terminated successfully *and* the assembled successor map is a
     genuine Hamiltonian cycle of ``graph``.
 
-    ``network_hook(network)``, if given, runs after construction and
-    before execution — observers (k-machine accounting, fault plans)
-    attach here without altering the protocol.  ``fault_plan``, a
-    :class:`~repro.congest.faults.FaultPlan`, is the declarative
-    spelling of the same: the runner attaches the injector itself and
-    reports its counters under ``detail["faults"]``.
+    ``network`` is a :class:`~repro.congest.model.NetworkModel` (or its
+    JSON dict/string form) describing the substrate: sync vs async
+    engine, bandwidth, fault plan, latency distribution, churn.  The
+    legacy ``network_hook=`` / ``fault_plan=`` keywords are deprecated
+    shims folding into it.  When the model has a fault plan the
+    adversary's counters appear under ``detail["faults"]``; async runs
+    additionally report ``detail["async"]`` (see
+    ``AsyncNetwork.async_summary``).
     """
     n = graph.n
-    injector = None
-    if fault_plan is not None:
-        from repro.congest.faults import compose_fault_hook
-
-        network_hook, injector = compose_fault_hook(fault_plan, network_hook)
+    model = coerce_network_model(network, network_hook=network_hook,
+                                 fault_plan=fault_plan, caller="run_dra")
     budget = step_budget if step_budget is not None else dra_step_budget(n)
     limit = max_rounds if max_rounds is not None else dra_round_budget(n, budget)
-    network = Network(
+    network_, injector = build_network(
         graph,
         lambda v: DraProtocol(v, n, step_budget=budget),
         seed=seed,
+        model=model,
         audit_memory=audit_memory,
     )
-    if network_hook is not None:
-        network_hook(network)
-    metrics = network.run(max_rounds=limit, raise_on_limit=False)
+    metrics = network_.run(max_rounds=limit, raise_on_limit=False)
 
-    protocols: list[DraProtocol] = network.protocols  # type: ignore[assignment]
+    protocols: list[DraProtocol] = network_.protocols  # type: ignore[assignment]
     walks = [p.walk for p in protocols]
     ok = all(w is not None and w.done and w.success for w in walks)
     steps = max((w.steps_seen for w in walks if w is not None), default=0)
@@ -163,7 +162,9 @@ def run_dra(
     detail = {"fail_codes": sorted({w.fail_code for w in walks if w is not None and w.fail_code})}
     if injector is not None:
         detail["faults"] = injector.summary()
-    if audit_memory:
+    if model.is_async():
+        detail["async"] = network_.async_summary()
+    if audit_memory or model.audit_memory:
         detail["max_state_words"] = metrics.max_state_words()
         detail["state_words"] = metrics.peak_state_words.tolist()
     return RunResult(
@@ -174,6 +175,6 @@ def run_dra(
         messages=metrics.messages,
         bits=metrics.bits,
         steps=steps,
-        engine="congest",
+        engine="async" if model.is_async() else "congest",
         detail=detail,
     )

@@ -78,7 +78,7 @@ import math
 from bisect import bisect_right
 
 from repro.congest.message import Message
-from repro.congest.network import Network
+from repro.congest.model import build_network, coerce_network_model, faults_summary_for
 from repro.congest.node import Context, Protocol
 from repro.engines.results import RunResult
 from repro.graphs.adjacency import Graph
@@ -424,42 +424,44 @@ def run_turau(
     audit_memory: bool = False,
     network_hook=None,
     fault_plan=None,
+    network=None,
 ) -> RunResult:
     """Run Turau-style path merging on ``graph`` in the CONGEST simulator.
 
     Same contract as :func:`~repro.core.dra.run_dra`: ``success`` is
     true only if every node terminated in the done state *and* the
     committed links verify as a Hamiltonian cycle of ``graph``.
-    ``network_hook(network)`` runs after construction (observer
-    attachment point — k-machine accounting, fault plans);
-    ``fault_plan`` declaratively attaches a
-    :class:`~repro.congest.faults.FaultInjector`, reported under
-    ``detail["faults"]``.
+    ``network`` is a :class:`~repro.congest.model.NetworkModel` (or its
+    JSON form) describing the substrate; the legacy ``network_hook=`` /
+    ``fault_plan=`` keywords are deprecated shims folding into it.  A
+    fault plan's counters appear under ``detail["faults"]`` (zeros when
+    the run never started, e.g. ``n < 3``); async runs also report
+    ``detail["async"]``.
     """
     n = graph.n
+    model = coerce_network_model(network, network_hook=network_hook,
+                                 fault_plan=fault_plan, caller="run_turau")
     if n < 3:
-        return RunResult("turau", False, None, 0, engine="congest",
-                         detail={"fail": FAIL_TOO_SMALL, "phases": 0,
-                                 "initial_paths": n})
-    injector = None
-    if fault_plan is not None:
-        from repro.congest.faults import compose_fault_hook
-
-        network_hook, injector = compose_fault_hook(fault_plan, network_hook)
+        detail = {"fail": FAIL_TOO_SMALL, "phases": 0, "initial_paths": n}
+        faults = faults_summary_for(model)
+        if faults is not None:
+            detail["faults"] = faults
+        return RunResult("turau", False, None, 0,
+                         engine="async" if model.is_async() else "congest",
+                         detail=detail)
     budget = max(1, phase_budget if phase_budget is not None
                  else turau_phase_budget(n))
     limit = max_rounds if max_rounds is not None else turau_round_budget(n, budget)
-    network = Network(
+    network_, injector = build_network(
         graph,
         lambda v: TurauProtocol(v, n, phase_budget=budget),
         seed=seed,
+        model=model,
         audit_memory=audit_memory,
     )
-    if network_hook is not None:
-        network_hook(network)
-    metrics = network.run(max_rounds=limit, raise_on_limit=False)
+    metrics = network_.run(max_rounds=limit, raise_on_limit=False)
 
-    protocols: list[TurauProtocol] = network.protocols  # type: ignore[assignment]
+    protocols: list[TurauProtocol] = network_.protocols  # type: ignore[assignment]
     ok = all(p.done for p in protocols)
     cycle = None
     if ok:
@@ -486,7 +488,9 @@ def run_turau(
     }
     if injector is not None:
         detail["faults"] = injector.summary()
-    if audit_memory:
+    if model.is_async():
+        detail["async"] = network_.async_summary()
+    if audit_memory or model.audit_memory:
         detail["max_state_words"] = metrics.max_state_words()
         detail["state_words"] = metrics.peak_state_words.tolist()
     return RunResult(
@@ -497,6 +501,6 @@ def run_turau(
         messages=metrics.messages,
         bits=metrics.bits,
         steps=sum(p.commits for p in protocols),
-        engine="congest",
+        engine="async" if model.is_async() else "congest",
         detail=detail,
     )

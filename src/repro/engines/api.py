@@ -54,7 +54,7 @@ __all__ = ["Engine", "EngineSpec", "ENGINE_PRIORITY"]
 #: machine-model accounting (``k_machines`` / ``link_words`` steer
 #: onto it), and sequential solvers as a last resort.
 ENGINE_PRIORITY = {"fast": 30, "fast-batch": 25, "congest": 20,
-                   "kmachine": 15, "sequential": 10}
+                   "async": 17, "kmachine": 15, "sequential": 10}
 
 
 @runtime_checkable
@@ -102,6 +102,15 @@ class EngineSpec:
         engines themselves and for engines with no reference
         counterpart; every non-empty declaration is enforced by
         ``tests/test_engine_parity.py``'s registry parity gate.
+    async_capable:
+        True when the runner can execute on the asynchronous
+        event-queue engine (:mod:`repro.congest.async_engine`) via a
+        ``NetworkModel`` with ``mode="async"`` — latency
+        distributions, message loss/reordering, churn.  Declaring it
+        carries a contract: at unit latency with no faults and no
+        churn the async execution must be seed-for-seed identical to
+        the synchronous congest reference
+        (``tests/test_async_engine.py``'s registry gate enforces it).
     jit:
         True when the runner dispatches through the optional compiled
         kernels in :mod:`repro.engines._jit` under ``REPRO_JIT=1``
@@ -129,6 +138,7 @@ class EngineSpec:
     kmachine_convertible: bool = False
     audits_memory: bool = False
     parity: frozenset[str] = frozenset()
+    async_capable: bool = False
     jit: bool = False
     threads: bool = False
     priority: int = field(default=-1)

@@ -28,13 +28,21 @@ from repro.engines.results import RunResult
 __all__ = ["EngineRegistry", "REGISTRY", "run"]
 
 #: Keyword sets shared by the fully-distributed congest front ends.
-#: ``fault_plan`` is the declarative failure-injection capability: a
-#: :class:`~repro.congest.faults.FaultPlan` attached by the runner
-#: itself, so sweeps mix fault scenarios without importing
-#: ``repro.congest.faults`` at call sites (and ``engine="auto"``
-#: steers such runs onto the simulator, the only engine that can
-#: inject).
-_CONGEST_COMMON = ("max_rounds", "audit_memory", "network_hook", "fault_plan")
+#: ``network`` is the unified substrate description (a
+#: :class:`~repro.congest.model.NetworkModel` or its JSON form) —
+#: bandwidth, fault plan, latency, churn in one object; the legacy
+#: ``network_hook`` / ``fault_plan`` keywords remain as deprecation
+#: shims folding into it, so sweeps mix fault scenarios without
+#: importing ``repro.congest.faults`` at call sites (and
+#: ``engine="auto"`` steers such runs onto the simulator, the only
+#: engine that can inject).
+_CONGEST_COMMON = ("max_rounds", "audit_memory", "network_hook", "fault_plan",
+                   "network")
+
+#: Keywords of the asynchronous event-queue entries: the unified
+#: ``network`` model only (the async engine has no legacy shims — its
+#: configuration surface was born consolidated).
+_ASYNC_COMMON = ("max_rounds", "audit_memory", "network")
 
 #: Keywords shared by the native k-machine engine entries: machine
 #: count, per-link word budget (the model's ``W``), and an RVP stream
@@ -51,6 +59,11 @@ def _builtin_specs() -> list[EngineSpec]:
                    supported_kwargs=("step_budget", *_CONGEST_COMMON),
                    kmachine_convertible=True, audits_memory=True,
                    summary="Algorithm 1 in the message-level simulator"),
+        EngineSpec("dra", "async", "repro.engines.async_runners:_dra_async",
+                   supported_kwargs=("step_budget", *_ASYNC_COMMON),
+                   audits_memory=True, async_capable=True,
+                   summary="Algorithm 1 on the asynchronous event-queue "
+                           "engine (latency, loss, reordering, churn)"),
         EngineSpec("dra", "fast", "repro.engines.fast:_dra_fast",
                    supported_kwargs=("step_budget",),
                    parity=("cycle", "steps", "rounds"),
@@ -71,6 +84,11 @@ def _builtin_specs() -> list[EngineSpec]:
                    supported_kwargs=("k", *_CONGEST_COMMON),
                    kmachine_convertible=True, audits_memory=True,
                    summary="Algorithm 2 in the message-level simulator"),
+        EngineSpec("dhc1", "async", "repro.engines.async_runners:_dhc1_async",
+                   supported_kwargs=("k", *_ASYNC_COMMON),
+                   audits_memory=True, async_capable=True,
+                   summary="Algorithm 2 on the asynchronous event-queue "
+                           "engine"),
         EngineSpec("dhc1", "kmachine", "repro.engines.kmachine_dhc1:_dhc1_kmachine",
                    supported_kwargs=("k", *_KMACHINE_COMMON),
                    parity=("cycle", "steps"),
@@ -80,6 +98,11 @@ def _builtin_specs() -> list[EngineSpec]:
                    supported_kwargs=("delta", "k", *_CONGEST_COMMON),
                    kmachine_convertible=True, audits_memory=True,
                    summary="Algorithm 3 in the message-level simulator"),
+        EngineSpec("dhc2", "async", "repro.engines.async_runners:_dhc2_async",
+                   supported_kwargs=("delta", "k", *_ASYNC_COMMON),
+                   audits_memory=True, async_capable=True,
+                   summary="Algorithm 3 on the asynchronous event-queue "
+                           "engine"),
         EngineSpec("dhc2", "fast", "repro.engines.fast_dhc2:_dhc2_fast",
                    supported_kwargs=("delta", "k"),
                    parity=("cycle", "steps"),
@@ -106,6 +129,12 @@ def _builtin_specs() -> list[EngineSpec]:
                    kmachine_convertible=True, audits_memory=True,
                    summary="Turau path merging (arXiv:1805.06728) in the "
                            "message-level simulator"),
+        EngineSpec("turau", "async", "repro.engines.async_runners:_turau_async",
+                   supported_kwargs=("phase_budget", *_ASYNC_COMMON),
+                   audits_memory=True, async_capable=True,
+                   summary="Turau path merging on the asynchronous "
+                           "event-queue engine (its self-stabilising home "
+                           "turf)"),
         EngineSpec("turau", "fast", "repro.engines.fast_turau:_turau_fast",
                    supported_kwargs=("phase_budget",),
                    parity=("cycle", "steps"),

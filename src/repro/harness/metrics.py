@@ -184,6 +184,17 @@ class MetricsCollector:
         steps = trial.metrics.get("steps")
         if steps is not None:
             slot["steps"].append(float(steps))
+        # Async-engine trials (the runner folds detail["async"] into
+        # metrics under an "async_" prefix): distribution of the
+        # virtual-time round stretch, plus event-count totals.
+        stretch = trial.metrics.get("async_stretch")
+        if stretch is not None:
+            slot.setdefault("async_stretch", []).append(float(stretch))
+        for key in ("async_delivered", "async_dropped", "async_reordered",
+                    "async_limited"):
+            value = trial.metrics.get(key)
+            if value is not None:
+                slot[key] = slot.get(key, 0.0) + float(value)
         self._maybe_sample()
 
     def finish(self) -> None:
@@ -259,6 +270,19 @@ class MetricsCollector:
                 entry[f"steps_{name}"] = (
                     round(quantile(slot["steps"], q), 6)
                     if slot["steps"] else None)
+            # Async-engine extras, present only when the point actually
+            # ran on the event-queue engine (sync sweeps are unchanged).
+            if slot.get("async_stretch"):
+                for q, name in _PERCENTILES:
+                    entry[f"async_stretch_{name}"] = round(
+                        quantile(slot["async_stretch"], q), 6)
+            for key in ("async_delivered", "async_dropped",
+                        "async_reordered"):
+                if key in slot:
+                    entry[key] = slot[key]
+            if "async_limited" in slot:
+                entry["async_termination_rate"] = round(
+                    1.0 - slot["async_limited"] / slot["trials"], 9)
             per_point[label] = entry
         events: dict[str, Any] = {
             "trials": self._events,

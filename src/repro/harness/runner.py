@@ -491,6 +491,13 @@ def _normalize(raw: Any, point: dict, trial_index: int, seed: int,
             "bits": float(raw.bits),
             "steps": float(raw.steps),
         }
+        # Async-engine runs carry event-level counters (virtual time,
+        # delivered/dropped/reordered, stretch) in detail["async"];
+        # fold the numeric ones in under an "async_" prefix so stores
+        # and the metrics sidecar see them like any other metric.
+        for key, value in (raw.detail.get("async") or {}).items():
+            if isinstance(value, (int, float)):
+                metrics[f"async_{key}"] = float(value)
         return Trial(point=point, trial_index=trial_index, seed=seed,
                      success=raw.success, metrics=metrics, elapsed_s=elapsed)
     if isinstance(raw, Mapping):

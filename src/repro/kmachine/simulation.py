@@ -200,7 +200,11 @@ def run_converted_hc(
     def hook(network: Network) -> None:
         network.round_observer = accountant.observe
 
-    result = spec.call(graph, seed=seed, network_hook=hook, **algorithm_kwargs)
+    from repro.congest.model import NetworkModel
+
+    result = spec.call(graph, seed=seed,
+                       network=NetworkModel(network_hook=hook),
+                       **algorithm_kwargs)
     return result, accountant.metrics
 
 

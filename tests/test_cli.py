@@ -268,6 +268,16 @@ class TestEnginesCommand:
         assert "batched" in header and "jit" in header
         assert "threads" in header
 
+    def test_engines_listing_shows_async_capability(self, capsys):
+        code, out, _ = run_cli(capsys, "engines", "--json")
+        specs = {(s["algorithm"], s["engine"]): s for s in json.loads(out)}
+        for algorithm in ("dra", "dhc1", "dhc2", "turau"):
+            assert specs[(algorithm, "async")]["async_capable"] is True
+            assert specs[(algorithm, "congest")]["async_capable"] is False
+            assert "network" in specs[(algorithm, "async")]["supported_kwargs"]
+        code, out, _ = run_cli(capsys, "engines")
+        assert "async" in out.splitlines()[1]
+
 
 class TestMergeCommand:
     def _sweep_into(self, capsys, tmp_path, name):
@@ -691,6 +701,114 @@ class TestSweepJobsThreadedKernelRule:
             return [json.dumps(r, sort_keys=True) for r in records]
 
         assert canonical(exact) == canonical(fallback)
+
+
+class TestNetworkFlag:
+    """--network JSON|@file and the async engine on the CLI."""
+
+    def test_async_engine_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra", "--engine", "async",
+            "--nodes", "32", "--c", "8", "--delta", "1.0", "--seed", "3",
+            "--json")
+        payload = json.loads(out)
+        assert payload["engine"] == "async"
+        assert payload["detail"]["async"]["limited"] == 0
+
+    def test_async_engine_matches_congest(self, capsys):
+        args = ("--algorithm", "dra", "--nodes", "32", "--c", "8",
+                "--delta", "1.0", "--seed", "3", "--json")
+        _, out_sync, _ = run_cli(capsys, "run", "--engine", "congest", *args)
+        _, out_async, _ = run_cli(capsys, "run", "--engine", "async", *args)
+        sync, against = json.loads(out_sync), json.loads(out_async)
+        for field in ("success", "rounds", "messages", "bits"):
+            assert against[field] == sync[field], field
+
+    def test_network_json_document(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra", "--nodes", "32",
+            "--c", "8", "--delta", "1.0", "--seed", "2", "--json",
+            "--network", '{"fault_plan": {"drop_probability": 1.0}}')
+        payload = json.loads(out)
+        assert code == 1  # blackout: clean failure
+        assert payload["engine"] == "congest"  # auto never picks async
+        assert payload["detail"]["faults"]["dropped"] > 0
+
+    def test_network_file_document(self, capsys, tmp_path):
+        doc = tmp_path / "net.json"
+        doc.write_text('{"mode": "async", '
+                       '"latency": {"kind": "uniform", "low": 0.5, '
+                       '"high": 1.5}, "seed": 7}')
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra", "--engine", "async",
+            "--nodes", "32", "--c", "8", "--delta", "1.0", "--seed", "2",
+            "--json", "--network", f"@{doc}")
+        payload = json.loads(out)
+        assert payload["engine"] == "async"
+        assert payload["detail"]["async"]["reordered"] > 0
+
+    def test_async_engine_defaults_mode(self, capsys):
+        # With --engine async a document without "mode" is taken async.
+        code, out, _ = run_cli(
+            capsys, "run", "--algorithm", "dra", "--engine", "async",
+            "--nodes", "24", "--c", "8", "--delta", "1.0", "--seed", "1",
+            "--json", "--network", '{"latency": {"kind": "fixed", '
+            '"value": 2.0}}')
+        assert json.loads(out)["engine"] == "async"
+
+    def test_invalid_network_json_is_a_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "--algorithm", "dra", "--nodes", "24",
+            "--network", "{not json")
+        assert code == 2
+        assert "not valid JSON" in err
+
+    def test_unknown_network_field_is_a_clean_error(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "--algorithm", "dra", "--nodes", "24",
+            "--network", '{"topology": "ring"}')
+        assert code == 2
+        assert "unknown NetworkModel" in err
+
+    def test_missing_network_file_is_a_clean_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "run", "--algorithm", "dra", "--nodes", "24",
+            "--network", f"@{tmp_path}/missing.json")
+        assert code == 2
+        assert "cannot read --network file" in err
+
+    def test_network_does_not_compose_with_kmachine_conversion(self, capsys):
+        code, _, err = run_cli(
+            capsys, "run", "--algorithm", "dra", "--nodes", "24",
+            "--k-machines", "4", "--network", "{}")
+        assert code == 2
+        assert "does not compose" in err
+
+    def test_sweep_with_network_pins_congest(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "sweep", "--algorithm", "dra", "--sizes", "24,32",
+            "--trials", "2", "--c", "8", "--delta", "1.0", "--seed", "5",
+            "--json",
+            "--network", '{"fault_plan": {"drop_probability": 0.01}}')
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["engine"] == "congest"
+        assert len(payload["rows"]) == 2
+
+    def test_sweep_async_engine_with_metrics(self, capsys, tmp_path):
+        path = tmp_path / "kpis.json"
+        code, out, _ = run_cli(
+            capsys, "sweep", "--algorithm", "dra", "--engine", "async",
+            "--sizes", "24,32", "--trials", "2", "--c", "8",
+            "--delta", "1.0", "--seed", "5", "--json",
+            "--network", '{"latency": {"kind": "uniform", "low": 0.5, '
+            '"high": 1.5}}', "--metrics", str(path))
+        assert code == 0
+        assert json.loads(out)["engine"] == "async"
+        payload = validate_metrics_payload(json.loads(path.read_text()))
+        text = json.dumps(payload)
+        assert "async_stretch" in text
+        assert "async_termination_rate" in text
 
 
 class TestMainModule:
